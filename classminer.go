@@ -1,0 +1,323 @@
+// Package classminer is a from-scratch Go implementation of ClassMiner —
+// the medical video mining framework of Zhu, Aref, Fan, Catlin and
+// Elmagarmid, "Medical Video Mining for Efficient Database Indexing,
+// Management and Access" (ICDE 2003).
+//
+// The package offers two entry points:
+//
+//   - Analyzer mines a single video's content structure (shots → groups →
+//     scenes → clustered scenes), mines the three event categories
+//     (presentation, dialog, clinical operation) from visual and audio
+//     cues, and builds the four-level scalable skimming of §5.
+//
+//   - Library manages a collection of mined videos behind the paper's
+//     hierarchical database model: a concept-derived index with
+//     multi-center non-leaf nodes and hash-table leaves (§2, §6.2), and
+//     hierarchical multilevel access control.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record of every figure and table.
+package classminer
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"classminer/internal/access"
+	"classminer/internal/concept"
+	"classminer/internal/core"
+	"classminer/internal/index"
+	"classminer/internal/skim"
+	"classminer/internal/store"
+	"classminer/internal/vidmodel"
+)
+
+// Re-exported media and result types. These aliases are the public face of
+// the internal model; downstream code only imports this package.
+type (
+	// Video is a decoded media document (frames + aligned audio).
+	Video = vidmodel.Video
+	// Frame is a small dense RGB raster.
+	Frame = vidmodel.Frame
+	// AudioTrack is a mono PCM stream.
+	AudioTrack = vidmodel.AudioTrack
+	// Shot is the physical unit of §3 Definition 2.
+	Shot = vidmodel.Shot
+	// Group is the intermediate unit between shots and scenes.
+	Group = vidmodel.Group
+	// Scene is a collection of semantically related adjacent groups.
+	Scene = vidmodel.Scene
+	// ClusteredScene groups recurrences of visually similar scenes.
+	ClusteredScene = vidmodel.ClusteredScene
+	// EventKind is a mined event category.
+	EventKind = vidmodel.EventKind
+	// Options configures the mining pipeline.
+	Options = core.Options
+	// Result is the mined content structure of one video.
+	Result = core.Result
+	// User is an access-control subject.
+	User = access.User
+	// Clearance is a multilevel-security level.
+	Clearance = access.Clearance
+	// Rule protects a concept subtree.
+	Rule = access.Rule
+	// SearchHit is one ranked query result.
+	SearchHit = index.Result
+	// SearchStats counts the work a search performed (§6.2 cost model).
+	SearchStats = index.Stats
+	// SkimLevel indexes the four scalable-skimming layers of §5.
+	SkimLevel = skim.Level
+	// Skim is a built scalable skimming.
+	Skim = skim.Skim
+)
+
+// The four skimming layers (granularity increases from 4 down to 1).
+const (
+	SkimLevel1 = skim.Level1
+	SkimLevel2 = skim.Level2
+	SkimLevel3 = skim.Level3
+	SkimLevel4 = skim.Level4
+)
+
+// Event categories (§4.3).
+const (
+	EventUnknown           = vidmodel.EventUnknown
+	EventPresentation      = vidmodel.EventPresentation
+	EventDialog            = vidmodel.EventDialog
+	EventClinicalOperation = vidmodel.EventClinicalOperation
+)
+
+// Clearance levels of the built-in lattice.
+const (
+	Public        = access.Public
+	Student       = access.Student
+	Nurse         = access.Nurse
+	Clinician     = access.Clinician
+	Administrator = access.Administrator
+)
+
+// Analyzer mines video content structure and events. Construct once with
+// NewAnalyzer and reuse across videos (it holds a trained audio classifier).
+type Analyzer struct {
+	inner *core.Analyzer
+}
+
+// NewAnalyzer builds a mining pipeline; the zero Options reproduce the
+// paper's published settings.
+func NewAnalyzer(opts Options) (*Analyzer, error) {
+	inner, err := core.NewAnalyzer(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Analyzer{inner: inner}, nil
+}
+
+// Analyze runs the full Fig. 3 pipeline on one video.
+func (a *Analyzer) Analyze(v *Video) (*Result, error) { return a.inner.Analyze(v) }
+
+// VideoEntry is a video registered in a Library.
+type VideoEntry struct {
+	Result     *Result
+	Subcluster string // concept hierarchy placement (e.g. "medicine")
+}
+
+// Library is the paper's video database: mined videos behind a
+// concept-hierarchy index with access control. All methods are safe for
+// concurrent use; reads proceed in parallel while AddVideo, Protect and
+// BuildIndex serialise.
+type Library struct {
+	mu        sync.RWMutex
+	analyzer  *Analyzer
+	hierarchy *concept.Hierarchy
+	policy    *access.Policy
+	videos    map[string]*VideoEntry
+	entries   []*index.Entry
+	ix        *index.Index
+}
+
+// NewLibrary creates an empty library using the Fig. 2 medical concept
+// hierarchy and the given analyzer.
+func NewLibrary(a *Analyzer) *Library {
+	return &Library{
+		analyzer:  a,
+		hierarchy: concept.Medical(),
+		policy:    access.NewPolicy(),
+		videos:    map[string]*VideoEntry{},
+	}
+}
+
+// Protect adds an access-control rule over a concept subtree.
+func (l *Library) Protect(r Rule) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.policy.Add(r)
+}
+
+// AddVideo mines a video and registers its shots under the given
+// subcluster concept ("medicine", "nursing", "dentistry"). The index is
+// invalidated; call BuildIndex after the last AddVideo.
+func (l *Library) AddVideo(v *Video, subcluster string) (*Result, error) {
+	if l.hierarchy.Find(subcluster) == nil {
+		return nil, fmt.Errorf("classminer: unknown subcluster concept %q", subcluster)
+	}
+	l.mu.RLock()
+	_, dup := l.videos[v.Name]
+	l.mu.RUnlock()
+	if dup {
+		return nil, fmt.Errorf("classminer: video %q already registered", v.Name)
+	}
+	// Mining runs outside the lock: it is the slow part and touches no
+	// shared state.
+	res, err := l.analyzer.Analyze(v)
+	if err != nil {
+		return nil, err
+	}
+	return res, l.register(v.Name, res, subcluster)
+}
+
+// register installs a mined result under the lock.
+func (l *Library) register(name string, res *Result, subcluster string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, dup := l.videos[name]; dup {
+		return fmt.Errorf("classminer: video %q already registered", name)
+	}
+	l.videos[name] = &VideoEntry{Result: res, Subcluster: subcluster}
+	l.entries = append(l.entries, res.IndexEntries(subcluster)...)
+	l.ix = nil
+	return nil
+}
+
+// BuildIndex (re)builds the hierarchical index over all registered videos.
+func (l *Library) BuildIndex() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) == 0 {
+		return fmt.Errorf("classminer: no videos registered")
+	}
+	ix, err := index.Build(l.entries, index.Options{})
+	if err != nil {
+		return err
+	}
+	l.ix = ix
+	return nil
+}
+
+// Video returns a registered video's entry, or nil.
+func (l *Library) Video(name string) *VideoEntry {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.videos[name]
+}
+
+// VideoNames lists the registered videos in sorted order.
+func (l *Library) VideoNames() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	names := make([]string, 0, len(l.videos))
+	for name := range l.videos {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size returns the number of indexed shots.
+func (l *Library) Size() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.entries)
+}
+
+// Search runs a query-by-example over the library as the given user: the
+// hierarchical index finds the k nearest shots and the access-control
+// policy filters what the user may see. The §6.2 cost statistics of the
+// index traversal are returned alongside.
+func (l *Library) Search(u User, query []float64, k int) ([]SearchHit, SearchStats, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.ix == nil {
+		return nil, SearchStats{}, fmt.Errorf("classminer: index not built (call BuildIndex)")
+	}
+	hits, stats := l.ix.Search(query, k)
+	filtered := access.Filter(l.policy, u, hits, func(h SearchHit) []string { return h.Entry.Path })
+	return filtered, stats, nil
+}
+
+// SceneRef names one scene of one registered video.
+type SceneRef struct {
+	VideoName string
+	Scene     *Scene
+}
+
+// ScenesByEvent answers queries like "show me all patient–doctor dialogs
+// within the library": every mined scene of the category the user is
+// allowed to see.
+func (l *Library) ScenesByEvent(u User, kind EventKind) []SceneRef {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []SceneRef
+	for name, ve := range l.videos {
+		leaf := concept.SceneConcept(ve.Subcluster, kind)
+		path := []string{"medical education", ve.Subcluster, leaf}
+		if !l.policy.Allowed(u, path) {
+			continue
+		}
+		for _, sc := range ve.Result.Scenes {
+			if sc.Event == kind {
+				out = append(out, SceneRef{VideoName: name, Scene: sc})
+			}
+		}
+	}
+	return out
+}
+
+// Save serialises every mined video's metadata (not the media) to w. The
+// saved library can be reloaded with LoadLibrary without re-mining.
+func (l *Library) Save(w io.Writer) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	names := make([]string, 0, len(l.videos))
+	for name := range l.videos {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	entries := make([]store.SavedLibraryEntry, 0, len(names))
+	for _, name := range names {
+		ve := l.videos[name]
+		saved, err := store.EncodeResult(ve.Result)
+		if err != nil {
+			return fmt.Errorf("classminer: saving %q: %w", name, err)
+		}
+		entries = append(entries, store.SavedLibraryEntry{Subcluster: ve.Subcluster, Result: saved})
+	}
+	return store.WriteLibrary(w, entries)
+}
+
+// LoadLibrary reconstructs a library from a stream written by Save and
+// rebuilds its index. The analyzer is kept for future AddVideo calls; the
+// loaded videos carry mined metadata only (no frames or audio).
+func LoadLibrary(r io.Reader, a *Analyzer) (*Library, error) {
+	saved, err := store.ReadLibrary(r)
+	if err != nil {
+		return nil, err
+	}
+	l := NewLibrary(a)
+	for _, sv := range saved.Videos {
+		res, err := store.DecodeResult(sv.Result)
+		if err != nil {
+			return nil, err
+		}
+		if err := l.register(res.Video.Name, res, sv.Subcluster); err != nil {
+			return nil, err
+		}
+	}
+	if len(saved.Videos) > 0 {
+		if err := l.BuildIndex(); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}

@@ -1,0 +1,269 @@
+package classminer
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"classminer/internal/synth"
+)
+
+var (
+	libOnce sync.Once
+	lib     *Library
+	libErr  error
+)
+
+// sharedLibrary builds one two-video library for all integration tests.
+func sharedLibrary(t testing.TB) *Library {
+	t.Helper()
+	libOnce.Do(func() {
+		a, err := NewAnalyzer(Options{})
+		if err != nil {
+			libErr = err
+			return
+		}
+		lib = NewLibrary(a)
+		for i, name := range []string{"laparoscopy", "skin-examination"} {
+			script := synth.CorpusScript(name, 0.25, 99)
+			v, err := synth.Generate(synth.DefaultConfig(), script, int64(100+i))
+			if err != nil {
+				libErr = err
+				return
+			}
+			if _, err := lib.AddVideo(v, "medicine"); err != nil {
+				libErr = err
+				return
+			}
+		}
+		libErr = lib.BuildIndex()
+	})
+	if libErr != nil {
+		t.Fatal(libErr)
+	}
+	return lib
+}
+
+func TestLibraryEndToEnd(t *testing.T) {
+	l := sharedLibrary(t)
+	if l.Size() == 0 {
+		t.Fatal("no shots indexed")
+	}
+	ve := l.Video("laparoscopy")
+	if ve == nil {
+		t.Fatal("video not registered")
+	}
+	if len(ve.Result.Scenes) == 0 {
+		t.Fatal("no scenes mined")
+	}
+	// Query by example: a shot from the library should find itself.
+	q := ve.Result.Shots[0].Feature()
+	hits, stats, err := l.Search(User{Name: "dr", Clearance: Administrator}, q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no search hits")
+	}
+	if stats.FloatOps <= 0 || stats.Candidates <= 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if hits[0].Dist > hits[len(hits)-1].Dist {
+		t.Fatal("hits not ranked")
+	}
+}
+
+func TestLibraryAccessControlFiltersSearch(t *testing.T) {
+	l := sharedLibrary(t)
+	l.Protect(Rule{Concept: "medicine/clinical operation", MinClearance: Clinician})
+
+	ve := l.Video("laparoscopy")
+	// Find a shot indexed under clinical operation.
+	var clinicalQuery []float64
+	for _, sc := range ve.Result.Scenes {
+		if sc.Event == EventClinicalOperation && sc.ShotCount() > 0 {
+			clinicalQuery = sc.Shots()[0].Feature()
+			break
+		}
+	}
+	if clinicalQuery == nil {
+		t.Skip("no clinical scene mined in this corpus slice")
+	}
+	full, _, err := l.Search(User{Name: "dr", Clearance: Clinician}, clinicalQuery, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restricted, _, err := l.Search(User{Name: "kid", Clearance: Public}, clinicalQuery, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restricted) >= len(full) {
+		t.Fatalf("public user sees %d hits, clinician %d — filtering failed", len(restricted), len(full))
+	}
+	for _, h := range restricted {
+		if h.Entry.Path[len(h.Entry.Path)-1] == "medicine/clinical operation" {
+			t.Fatal("protected entry leaked to public user")
+		}
+	}
+}
+
+func TestLibraryScenesByEvent(t *testing.T) {
+	l := sharedLibrary(t)
+	admin := User{Name: "admin", Clearance: Administrator}
+	total := 0
+	for _, kind := range []EventKind{EventPresentation, EventDialog, EventClinicalOperation} {
+		refs := l.ScenesByEvent(admin, kind)
+		total += len(refs)
+		for _, r := range refs {
+			if r.Scene.Event != kind {
+				t.Fatalf("wrong event in refs: %v", r.Scene.Event)
+			}
+			if r.VideoName == "" {
+				t.Fatal("missing video name")
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no event scenes found at all")
+	}
+	// Deny dialogs and verify the query honours it.
+	l.Protect(Rule{Concept: "medicine/dialog", Deny: true})
+	if refs := l.ScenesByEvent(User{Name: "x", Clearance: Administrator}, EventDialog); len(refs) != 0 {
+		t.Fatalf("denied dialogs still visible: %d", len(refs))
+	}
+}
+
+func TestLibraryErrors(t *testing.T) {
+	a, err := NewAnalyzer(Options{SkipEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLibrary(a)
+	if err := l.BuildIndex(); err == nil {
+		t.Fatal("want error building empty index")
+	}
+	if _, _, err := l.Search(User{}, nil, 1); err == nil {
+		t.Fatal("want error searching unbuilt index")
+	}
+	rng := rand.New(rand.NewSource(1))
+	script := &synth.Script{Name: "v", Scenes: []synth.SceneSpec{synth.EstablishingScene(rng, 0, 1)}}
+	v, err := synth.Generate(synth.DefaultConfig(), script, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AddVideo(v, "astrology"); err == nil {
+		t.Fatal("want error for unknown subcluster")
+	}
+	if _, err := l.AddVideo(v, "medicine"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.AddVideo(v, "medicine"); err == nil {
+		t.Fatal("want error for duplicate video")
+	}
+}
+
+func TestSkimLevelsFromLibrary(t *testing.T) {
+	l := sharedLibrary(t)
+	ve := l.Video("skin-examination")
+	sk := ve.Result.Skim
+	var fcrs []float64
+	for lvl := SkimLevel1; lvl <= SkimLevel4; lvl++ {
+		fcrs = append(fcrs, sk.FCR(lvl))
+	}
+	if !sort.IsSorted(sort.Reverse(sort.Float64Slice(fcrs))) {
+		t.Fatalf("FCR not monotone across levels: %v", fcrs)
+	}
+}
+
+func TestLibrarySaveLoadRoundTrip(t *testing.T) {
+	l := sharedLibrary(t)
+	var buf bytes.Buffer
+	if err := l.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalyzer(Options{SkipEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadLibrary(&buf, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != l.Size() {
+		t.Fatalf("loaded size %d, want %d", loaded.Size(), l.Size())
+	}
+	if len(loaded.VideoNames()) != len(l.VideoNames()) {
+		t.Fatal("video names lost")
+	}
+	// The loaded library must answer queries without re-mining.
+	ve := loaded.Video("laparoscopy")
+	if ve == nil || len(ve.Result.Scenes) == 0 {
+		t.Fatal("loaded video incomplete")
+	}
+	q := ve.Result.Shots[0].Feature()
+	hits, _, err := loaded.Search(User{Name: "a", Clearance: Administrator}, q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("loaded index returned nothing")
+	}
+	// Events survive the round trip.
+	events := 0
+	for _, sc := range ve.Result.Scenes {
+		if sc.Event != EventUnknown {
+			events++
+		}
+	}
+	if events == 0 {
+		t.Fatal("mined events lost in round trip")
+	}
+}
+
+func TestLoadLibraryBadInput(t *testing.T) {
+	a, err := NewAnalyzer(Options{SkipEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLibrary(strings.NewReader("junk"), a); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestLibraryConcurrentAccess(t *testing.T) {
+	l := sharedLibrary(t)
+	ve := l.Video("laparoscopy")
+	q := ve.Result.Shots[0].Feature()
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				switch i % 4 {
+				case 0:
+					if _, _, err := l.Search(User{Clearance: Administrator}, q, 5); err != nil {
+						errs <- err
+						return
+					}
+				case 1:
+					l.ScenesByEvent(User{Clearance: Administrator}, EventClinicalOperation)
+				case 2:
+					_ = l.VideoNames()
+					_ = l.Size()
+				case 3:
+					l.Protect(Rule{Concept: "medicine/other", MinClearance: Student})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

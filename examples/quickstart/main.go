@@ -1,0 +1,50 @@
+// Quickstart: generate a small synthetic medical video, mine its content
+// structure and events with ClassMiner, and print what was found.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"classminer"
+	"classminer/internal/synth"
+)
+
+func main() {
+	// 1. A video. Real deployments decode MPEG; this repository ships a
+	// synthetic generator so everything runs offline (see DESIGN.md).
+	rng := rand.New(rand.NewSource(7))
+	script := &synth.Script{Name: "quickstart", Scenes: []synth.SceneSpec{
+		synth.PresentationScene(rng, 0, 1, 1),                     // presenter + slides
+		synth.DialogScene(rng, 1, 2, 2, 3),                        // doctor–patient dialog
+		synth.OperationScene(rng, 2, 3, synth.ContentSurgical, 0), // surgery
+	}}
+	video, err := synth.Generate(synth.DefaultConfig(), script, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. One analyzer, reusable across videos.
+	analyzer, err := classminer.NewAnalyzer(classminer.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Mine the video.
+	result, err := analyzer.Analyze(video)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(result.Summary())
+	fmt.Println()
+	for _, scene := range result.Scenes {
+		first, last := scene.FrameSpan()
+		fmt.Printf("scene %d (%.1fs–%.1fs): %d shots, event = %s\n",
+			scene.Index, float64(first)/video.FPS, float64(last)/video.FPS,
+			scene.ShotCount(), scene.Event)
+	}
+	fmt.Printf("\nskimming overview:\n%s", result.Skim.Describe())
+	fmt.Printf("event bar: %s\n", result.Skim.ColorBar(60))
+}

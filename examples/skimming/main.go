@@ -1,0 +1,49 @@
+// Skimming demonstrates the §5 scalable video skimming tool: the four
+// granularity levels, the frame compression ratio of each, and the event
+// colour bar used for direct scene access.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"classminer"
+	"classminer/internal/synth"
+)
+
+func main() {
+	script := synth.CorpusScript("laser-eye-surgery", 0.4, 31)
+	video, err := synth.Generate(synth.DefaultConfig(), script, 31)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analyzer, err := classminer.NewAnalyzer(classminer.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := analyzer.Analyze(video)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("video: %s (%.0fs)\n\n", video.Name, video.Duration())
+	sk := result.Skim
+	for level := classminer.SkimLevel4; level >= classminer.SkimLevel1; level-- {
+		shots := sk.Shots(level)
+		var seconds float64
+		for _, s := range shots {
+			seconds += float64(s.Len()) / video.FPS
+		}
+		fmt.Printf("level %d: %3d shots, %6.1fs of playback, FCR %.3f\n",
+			level, len(shots), seconds, sk.FCR(level))
+	}
+
+	fmt.Printf("\nevent bar (drag target of the fast-access toolbar):\n%s\n", sk.ColorBar(72))
+	// Simulate the user dragging the scroll bar to the middle of the bar.
+	if idx := sk.SceneAtBar(36, 72); idx >= 0 {
+		sc := result.Scenes[idx]
+		first, last := sc.FrameSpan()
+		fmt.Printf("\nclicking mid-bar jumps to scene %d [%d,%d), event %s\n",
+			idx, first, last, sc.Event)
+	}
+}

@@ -1,0 +1,83 @@
+// Storyboard demonstrates the §5 follow-on applications: pictorial
+// summarization (a PNG storyboard of scene thumbnails) and hierarchical
+// video browsing (the Fig. 1 tree made navigable). The storyboard PNG and
+// a WAV excerpt of the audio are written to the working directory.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"classminer"
+	"classminer/internal/mediaio"
+	"classminer/internal/summary"
+	"classminer/internal/synth"
+	"classminer/internal/vidmodel"
+)
+
+func main() {
+	script := synth.CorpusScript("nuclear-medicine", 0.35, 77)
+	video, err := synth.Generate(synth.DefaultConfig(), script, 77)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analyzer, err := classminer.NewAnalyzer(classminer.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := analyzer.Analyze(video)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(result.Summary())
+
+	// Pictorial summary: one thumbnail per scene.
+	sb, err := summary.BuildStoryboard(result, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := os.Create("storyboard.png")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+	if err := mediaio.WritePNG(out, sb.Mosaic); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote storyboard.png (%dx%d, %d tiles)\n", sb.Mosaic.W, sb.Mosaic.H, len(sb.Tiles))
+	for _, tile := range sb.Tiles {
+		fmt.Printf("  tile scene %2d shot %3d  %-18v at (%d,%d)\n",
+			tile.SceneIndex, tile.ShotIndex, tile.Event, tile.X, tile.Y)
+	}
+
+	// A 5-second WAV excerpt of the soundtrack.
+	excerpt := &vidmodel.AudioTrack{
+		SampleRate: video.Audio.SampleRate,
+		Samples:    video.Audio.Samples[:min(5*video.Audio.SampleRate, len(video.Audio.Samples))],
+	}
+	wav, err := os.Create("excerpt.wav")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer wav.Close()
+	if err := mediaio.WriteWAV(wav, excerpt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote excerpt.wav (%d samples @ %d Hz)\n\n", len(excerpt.Samples), excerpt.SampleRate)
+
+	// Hierarchical browser.
+	tree, err := summary.BuildBrowseTree(result)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("browse tree:")
+	fmt.Print(tree.Render())
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,173 @@
+package audio
+
+import (
+	"fmt"
+	"math"
+
+	"classminer/internal/mat"
+)
+
+// DISTBIC-style speaker segmentation (Delacourt & Wellekens, Speech
+// Communication 2000 — the paper's ref. [23]): a two-pass segmentation of a
+// continuous audio stream into speaker turns. Pass one slides a pair of
+// adjacent analysis windows along the MFCC sequence and computes the
+// generalised likelihood ratio (the Λ(R) statistic of Eq. 18) as a distance
+// curve; significant local maxima become candidate change points. Pass two
+// validates every candidate with the penalised ΔBIC test of Eq. (19) on the
+// windows flanking it, discarding spurious peaks.
+
+// Turn is one speaker-homogeneous segment, in samples.
+type Turn struct {
+	StartSample int
+	EndSample   int
+}
+
+// SegmentConfig tunes SegmentSpeakers. Zero values become defaults.
+type SegmentConfig struct {
+	// WindowSec is each analysis window's length (default 2 s, the §4.2
+	// clip length).
+	WindowSec float64
+	// HopSec is the distance-curve step (default 0.5 s).
+	HopSec float64
+	// PeakSigma is how many standard deviations above the curve mean a
+	// local maximum must rise to become a candidate (default 0.5).
+	PeakSigma float64
+	// Lambda is the BIC penalty factor of the validation pass.
+	Lambda float64
+}
+
+func (c SegmentConfig) withDefaults() SegmentConfig {
+	if c.WindowSec <= 0 {
+		c.WindowSec = ClipSeconds
+	}
+	if c.HopSec <= 0 {
+		c.HopSec = 0.5
+	}
+	if c.PeakSigma <= 0 {
+		c.PeakSigma = 0.5
+	}
+	if c.Lambda <= 0 {
+		c.Lambda = DefaultPenalty
+	}
+	return c
+}
+
+// SegmentSpeakers partitions the stream into speaker turns. The stream
+// must be at least two windows long.
+func SegmentSpeakers(samples []float64, sampleRate int, cfg SegmentConfig) ([]Turn, error) {
+	cfg = cfg.withDefaults()
+	mfcc := MFCCs(samples, sampleRate)
+	// MFCC frames advance by the 10 ms hop.
+	framesPerSec := int(1 / mfccHopSec)
+	win := int(cfg.WindowSec * float64(framesPerSec))
+	hop := int(cfg.HopSec * float64(framesPerSec))
+	if len(mfcc) < 2*win || win < 2*NumMFCC || hop < 1 {
+		return nil, fmt.Errorf("audio: stream too short to segment (%d MFCC frames, need >= %d)", len(mfcc), 2*win)
+	}
+
+	// Pass 1: GLR distance curve at every hop position.
+	type point struct {
+		frame int // MFCC frame index of the candidate boundary
+		dist  float64
+	}
+	var curve []point
+	for center := win; center+win <= len(mfcc); center += hop {
+		left := mfcc[center-win : center]
+		right := mfcc[center : center+win]
+		d, err := glr(left, right)
+		if err != nil {
+			continue
+		}
+		curve = append(curve, point{frame: center, dist: d})
+	}
+	if len(curve) == 0 {
+		return nil, fmt.Errorf("audio: empty distance curve")
+	}
+	var mean, std float64
+	for _, p := range curve {
+		mean += p.dist
+	}
+	mean /= float64(len(curve))
+	for _, p := range curve {
+		dv := p.dist - mean
+		std += dv * dv
+	}
+	std = math.Sqrt(std / float64(len(curve)))
+	threshold := mean + cfg.PeakSigma*std
+
+	// Candidates: significant local maxima of the curve.
+	var candidates []int
+	for i := range curve {
+		if curve[i].dist < threshold {
+			continue
+		}
+		if i > 0 && curve[i-1].dist > curve[i].dist {
+			continue
+		}
+		if i+1 < len(curve) && curve[i+1].dist >= curve[i].dist {
+			continue
+		}
+		candidates = append(candidates, curve[i].frame)
+	}
+
+	// Pass 2: ΔBIC validation of each candidate on its flanking windows.
+	samplesPerFrame := sampleRate / framesPerSec
+	changes := []int{}
+	lastChange := 0
+	for _, frame := range candidates {
+		if frame-lastChange < win { // keep turns at least one window long
+			continue
+		}
+		left := mfcc[maxOf(frame-win, lastChange):frame]
+		hi := frame + win
+		if hi > len(mfcc) {
+			hi = len(mfcc)
+		}
+		right := mfcc[frame:hi]
+		res, err := SpeakerChangeMFCC(left, right, cfg.Lambda)
+		if err != nil || !res.Changed {
+			continue
+		}
+		changes = append(changes, frame)
+		lastChange = frame
+	}
+
+	// Assemble turns.
+	var turns []Turn
+	start := 0
+	for _, frame := range changes {
+		turns = append(turns, Turn{StartSample: start, EndSample: frame * samplesPerFrame})
+		start = frame * samplesPerFrame
+	}
+	turns = append(turns, Turn{StartSample: start, EndSample: len(samples)})
+	return turns, nil
+}
+
+// glr computes the generalised likelihood ratio statistic Λ(R) of Eq. (18)
+// between two MFCC windows (the BIC statistic with no penalty).
+func glr(a, b [][]float64) (float64, error) {
+	all := make([][]float64, 0, len(a)+len(b))
+	all = append(all, a...)
+	all = append(all, b...)
+	ldAll, err := mat.LogDet(mat.Covariance(all))
+	if err != nil {
+		return 0, err
+	}
+	ldA, err := mat.LogDet(mat.Covariance(a))
+	if err != nil {
+		return 0, err
+	}
+	ldB, err := mat.LogDet(mat.Covariance(b))
+	if err != nil {
+		return 0, err
+	}
+	na, nb := float64(len(a)), float64(len(b))
+	return (na+nb)/2*ldAll - na/2*ldA - nb/2*ldB, nil
+}
+
+func maxOf(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

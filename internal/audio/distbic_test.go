@@ -1,0 +1,91 @@
+package audio
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// stream concatenates per-speaker speech segments into one track and
+// returns the true change points in samples.
+func stream(speakers []int, secEach float64, seed int64) ([]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(secEach * sr)
+	var out []float64
+	var changes []int
+	for i, id := range speakers {
+		seg := make([]float64, n)
+		synthSpeechInto(seg, id, rng)
+		out = append(out, seg...)
+		if i > 0 {
+			changes = append(changes, i*n)
+		}
+	}
+	return out, changes
+}
+
+func TestSegmentSpeakersFindsTurns(t *testing.T) {
+	samples, truth := stream([]int{1, 4, 1}, 4.0, 5)
+	turns, err := SegmentSpeakers(samples, sr, SegmentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(turns) != 3 {
+		t.Fatalf("found %d turns, want 3: %+v", len(turns), turns)
+	}
+	// Boundaries within ±0.75 s of the scripted changes.
+	tol := int(0.75 * sr)
+	for i, want := range truth {
+		got := turns[i].EndSample
+		if got < want-tol || got > want+tol {
+			t.Fatalf("change %d at sample %d, want %d ± %d", i, got, want, tol)
+		}
+	}
+	// Turns must tile the stream.
+	if turns[0].StartSample != 0 || turns[len(turns)-1].EndSample != len(samples) {
+		t.Fatal("turns must cover the stream")
+	}
+	for i := 1; i < len(turns); i++ {
+		if turns[i].StartSample != turns[i-1].EndSample {
+			t.Fatal("turns must be contiguous")
+		}
+	}
+}
+
+func TestSegmentSpeakersSingleSpeaker(t *testing.T) {
+	samples, _ := stream([]int{2}, 8.0, 6)
+	turns, err := SegmentSpeakers(samples, sr, SegmentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(turns) != 1 {
+		t.Fatalf("single speaker split into %d turns: %+v", len(turns), turns)
+	}
+}
+
+func TestSegmentSpeakersTooShort(t *testing.T) {
+	if _, err := SegmentSpeakers(make([]float64, sr/2), sr, SegmentConfig{}); err == nil {
+		t.Fatal("want too-short error")
+	}
+}
+
+func TestSegmentSpeakersManyTurns(t *testing.T) {
+	samples, truth := stream([]int{1, 4, 2, 5}, 3.5, 7)
+	turns, err := SegmentSpeakers(samples, sr, SegmentConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recall over the scripted changes with a ±1 s tolerance.
+	tol := sr
+	found := 0
+	for _, want := range truth {
+		for _, turn := range turns[:len(turns)-1] {
+			if diff := turn.EndSample - want; diff >= -tol && diff <= tol {
+				found++
+				break
+			}
+		}
+	}
+	if found < 2 {
+		t.Fatalf("found only %d of %d changes: %+v", found, len(truth), turns)
+	}
+}

@@ -1,0 +1,184 @@
+package audio
+
+import "math"
+
+// NumClipFeatures is the dimension of the clip-level descriptor of
+// ref. [22] (Liu & Huang): 14 features summarising energy, zero-crossing,
+// spectral shape and syllable-rate modulation statistics of a ~2 s clip.
+const NumClipFeatures = 14
+
+// ClipFeatures computes the 14 clip-level features from a clip. Frames of
+// 20 ms with 10 ms hop underlie all statistics. Returns nil for clips too
+// short to frame.
+func ClipFeatures(samples []float64, sampleRate int) []float64 {
+	win := sampleRate / 50 // 20 ms
+	hop := sampleRate / 100
+	if win < 2 || len(samples) < win {
+		return nil
+	}
+	var energies, zcrs, centroids, rolloffs, bandwidths, fluxes, lowRatios []float64
+	var prevSpec []float64
+	for start := 0; start+win <= len(samples); start += hop {
+		frame := samples[start : start+win]
+		var e float64
+		zc := 0
+		for i, v := range frame {
+			e += v * v
+			if i > 0 && (v >= 0) != (frame[i-1] >= 0) {
+				zc++
+			}
+		}
+		e /= float64(win)
+		energies = append(energies, e)
+		zcrs = append(zcrs, float64(zc)/float64(win))
+
+		spec := powerSpectrum(frame)
+		var total, weighted float64
+		for b, p := range spec {
+			total += p
+			weighted += float64(b) * p
+		}
+		if total <= 0 {
+			total = 1e-12
+		}
+		cent := weighted / total
+		centroids = append(centroids, cent/float64(len(spec)))
+		var acc float64
+		roll := 0
+		for b, p := range spec {
+			acc += p
+			if acc >= 0.85*total {
+				roll = b
+				break
+			}
+		}
+		rolloffs = append(rolloffs, float64(roll)/float64(len(spec)))
+		var bw float64
+		for b, p := range spec {
+			d := float64(b) - cent
+			bw += d * d * p
+		}
+		bandwidths = append(bandwidths, math.Sqrt(bw/total)/float64(len(spec)))
+		// Low-band (0 – 1/8 Nyquist ≈ 0–500 Hz at 8 kHz) energy ratio.
+		var low float64
+		for b := 0; b < len(spec)/8; b++ {
+			low += spec[b]
+		}
+		lowRatios = append(lowRatios, low/total)
+		if prevSpec != nil {
+			var fl float64
+			for b := range spec {
+				d := spec[b] - prevSpec[b]
+				fl += d * d
+			}
+			fluxes = append(fluxes, math.Sqrt(fl)/(total+1e-12))
+		}
+		prevSpec = spec
+	}
+	if len(energies) == 0 {
+		return nil
+	}
+
+	meanE, stdE := meanStd(energies)
+	lowEnergy := ratioBelow(energies, 0.5*meanE)
+	silence := ratioBelow(energies, 0.05*meanE)
+	meanZ, stdZ := meanStd(zcrs)
+	meanC, stdC := meanStd(centroids)
+	meanR, _ := meanStd(rolloffs)
+	meanB, _ := meanStd(bandwidths)
+	meanF, _ := meanStd(fluxes)
+	meanLow, _ := meanStd(lowRatios)
+
+	return []float64{
+		math.Log(meanE + 1e-12),     // 1 mean energy (log)
+		stdE / (meanE + 1e-12),      // 2 energy variation coefficient
+		lowEnergy,                   // 3 low-energy frame ratio
+		silence,                     // 4 silence ratio
+		meanZ,                       // 5 mean zero-crossing rate
+		stdZ,                        // 6 ZCR deviation
+		meanC,                       // 7 spectral centroid mean
+		stdC,                        // 8 spectral centroid deviation
+		meanR,                       // 9 spectral rolloff mean
+		meanB,                       // 10 spectral bandwidth mean
+		meanF,                       // 11 spectral flux mean
+		meanLow,                     // 12 low-band energy ratio
+		modulation4Hz(energies),     // 13 syllable-rate (4 Hz) modulation
+		harmonicity(zcrs, energies), // 14 voiced-frame ratio proxy
+	}
+}
+
+func meanStd(x []float64) (mean, std float64) {
+	if len(x) == 0 {
+		return 0, 0
+	}
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	for _, v := range x {
+		d := v - mean
+		std += d * d
+	}
+	return mean, math.Sqrt(std / float64(len(x)))
+}
+
+func ratioBelow(x []float64, th float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range x {
+		if v < th {
+			n++
+		}
+	}
+	return float64(n) / float64(len(x))
+}
+
+// modulation4Hz measures how much of the energy contour's variation sits in
+// the 2–8 Hz syllable band — the signature of speech rhythm. The contour is
+// sampled at 100 Hz (10 ms hop).
+func modulation4Hz(energies []float64) float64 {
+	if len(energies) < 16 {
+		return 0
+	}
+	mean, _ := meanStd(energies)
+	n := nextPow2(len(energies))
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i, e := range energies {
+		re[i] = e - mean
+	}
+	fft(re, im)
+	contourRate := 100.0
+	binHz := contourRate / float64(n)
+	var band, total float64
+	for b := 1; b < n/2; b++ {
+		p := re[b]*re[b] + im[b]*im[b]
+		total += p
+		hz := float64(b) * binHz
+		if hz >= 2 && hz <= 8 {
+			band += p
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	return band / total
+}
+
+// harmonicity approximates the voiced-frame ratio: frames with low ZCR but
+// substantial energy are voiced speech; noise has high ZCR at all energies.
+func harmonicity(zcrs, energies []float64) float64 {
+	if len(zcrs) == 0 {
+		return 0
+	}
+	meanE, _ := meanStd(energies)
+	voiced := 0
+	for i := range zcrs {
+		if zcrs[i] < 0.12 && energies[i] > 0.3*meanE {
+			voiced++
+		}
+	}
+	return float64(voiced) / float64(len(zcrs))
+}

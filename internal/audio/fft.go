@@ -1,0 +1,73 @@
+// Package audio implements the audio analysis stack of §4.2: short-time
+// framing, a radix-2 FFT, 14-dimensional MFCCs from 30 ms windows with
+// 20 ms overlap, the 14 clip-level features of Liu & Huang (ref. [22]), a
+// diagonal-covariance Gaussian mixture model trained with EM for the clean
+// speech / non-speech decision, per-shot representative-clip selection, and
+// the Bayesian Information Criterion speaker-change test of Eqs. (17)–(19).
+package audio
+
+import "math"
+
+// fft computes the in-place radix-2 Cooley–Tukey FFT. len(re) must be a
+// power of two; im is the imaginary part (usually zeros on input).
+func fft(re, im []float64) {
+	n := len(re)
+	if n <= 1 {
+		return
+	}
+	// Bit reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			re[i], re[j] = re[j], re[i]
+			im[i], im[j] = im[j], im[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wRe, wIm := math.Cos(ang), math.Sin(ang)
+		for start := 0; start < n; start += length {
+			curRe, curIm := 1.0, 0.0
+			half := length / 2
+			for k := 0; k < half; k++ {
+				i, j := start+k, start+k+half
+				tRe := re[j]*curRe - im[j]*curIm
+				tIm := re[j]*curIm + im[j]*curRe
+				re[j], im[j] = re[i]-tRe, im[i]-tIm
+				re[i], im[i] = re[i]+tRe, im[i]+tIm
+				curRe, curIm = curRe*wRe-curIm*wIm, curRe*wIm+curIm*wRe
+			}
+		}
+	}
+}
+
+// nextPow2 returns the smallest power of two >= n.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// powerSpectrum windows the frame with a Hamming window, zero-pads to a
+// power of two and returns the one-sided power spectrum (N/2+1 bins).
+func powerSpectrum(frame []float64) []float64 {
+	n := nextPow2(len(frame))
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i, v := range frame {
+		w := 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(len(frame)-1))
+		re[i] = v * w
+	}
+	fft(re, im)
+	out := make([]float64, n/2+1)
+	for i := range out {
+		out[i] = re[i]*re[i] + im[i]*im[i]
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package audio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"classminer/internal/mat"
+)
+
+// GMM is a diagonal-covariance Gaussian mixture model.
+type GMM struct {
+	Weights []float64   // mixture weights, sum to 1
+	Means   [][]float64 // k × d
+	Vars    [][]float64 // k × d diagonal variances
+}
+
+const (
+	gmmVarFloor = 1e-6
+	gmmMaxIter  = 60
+)
+
+// TrainGMM fits a k-component diagonal GMM to the rows of x with EM,
+// initialised by k-means. rng fixes the initialisation.
+func TrainGMM(x [][]float64, k int, rng *rand.Rand) (*GMM, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("audio: TrainGMM on empty data")
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(x) {
+		k = len(x)
+	}
+	d := len(x[0])
+	km, err := mat.KMeans(x, k, rng, 30)
+	if err != nil {
+		return nil, err
+	}
+	g := &GMM{
+		Weights: make([]float64, k),
+		Means:   mat.NewMatrix(k, d),
+		Vars:    mat.NewMatrix(k, d),
+	}
+	counts := make([]float64, k)
+	for i, c := range km.Assignment {
+		counts[c]++
+		for j, v := range x[i] {
+			g.Means[c][j] += v
+		}
+	}
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			counts[c] = 1
+		}
+		for j := 0; j < d; j++ {
+			g.Means[c][j] /= counts[c]
+		}
+		g.Weights[c] = counts[c] / float64(len(x))
+	}
+	for i, c := range km.Assignment {
+		for j, v := range x[i] {
+			dv := v - g.Means[c][j]
+			g.Vars[c][j] += dv * dv
+		}
+	}
+	for c := 0; c < k; c++ {
+		for j := 0; j < d; j++ {
+			g.Vars[c][j] = g.Vars[c][j]/counts[c] + gmmVarFloor
+		}
+	}
+
+	// EM refinement.
+	resp := mat.NewMatrix(len(x), k)
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < gmmMaxIter; iter++ {
+		// E step.
+		var ll float64
+		for i, row := range x {
+			var logs []float64
+			for c := 0; c < k; c++ {
+				logs = append(logs, math.Log(g.Weights[c]+1e-300)+g.logGauss(c, row))
+			}
+			lse := logSumExp(logs)
+			ll += lse
+			for c := 0; c < k; c++ {
+				resp[i][c] = math.Exp(logs[c] - lse)
+			}
+		}
+		if ll-prevLL < 1e-6*math.Abs(prevLL)+1e-9 && iter > 0 {
+			break
+		}
+		prevLL = ll
+		// M step.
+		for c := 0; c < k; c++ {
+			var nc float64
+			mean := make([]float64, d)
+			for i := range x {
+				nc += resp[i][c]
+				for j, v := range x[i] {
+					mean[j] += resp[i][c] * v
+				}
+			}
+			if nc < 1e-9 {
+				continue
+			}
+			for j := 0; j < d; j++ {
+				mean[j] /= nc
+			}
+			vars := make([]float64, d)
+			for i := range x {
+				for j, v := range x[i] {
+					dv := v - mean[j]
+					vars[j] += resp[i][c] * dv * dv
+				}
+			}
+			for j := 0; j < d; j++ {
+				vars[j] = vars[j]/nc + gmmVarFloor
+			}
+			g.Weights[c] = nc / float64(len(x))
+			g.Means[c] = mean
+			g.Vars[c] = vars
+		}
+	}
+	return g, nil
+}
+
+// logGauss is the log density of component c at v.
+func (g *GMM) logGauss(c int, v []float64) float64 {
+	var s float64
+	for j, m := range g.Means[c] {
+		d := v[j] - m
+		s += d*d/g.Vars[c][j] + math.Log(2*math.Pi*g.Vars[c][j])
+	}
+	return -0.5 * s
+}
+
+// LogLikelihood returns the log density of v under the mixture.
+func (g *GMM) LogLikelihood(v []float64) float64 {
+	logs := make([]float64, len(g.Weights))
+	for c := range g.Weights {
+		logs[c] = math.Log(g.Weights[c]+1e-300) + g.logGauss(c, v)
+	}
+	return logSumExp(logs)
+}
+
+func logSumExp(logs []float64) float64 {
+	max := math.Inf(-1)
+	for _, l := range logs {
+		if l > max {
+			max = l
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	var s float64
+	for _, l := range logs {
+		s += math.Exp(l - max)
+	}
+	return max + math.Log(s)
+}

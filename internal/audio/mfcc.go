@@ -1,0 +1,99 @@
+package audio
+
+import "math"
+
+// MFCC extraction parameters fixed by §4.2: 14 coefficients from 30 ms
+// sliding windows with 20 ms overlap (10 ms hop).
+const (
+	// NumMFCC is the acoustic-space dimension p of the BIC test.
+	NumMFCC = 14
+	// mfccWindowSec and mfccHopSec implement "30 ms sliding windows with
+	// an overlapping of 20 ms".
+	mfccWindowSec = 0.030
+	mfccHopSec    = 0.010
+	numMelFilters = 26
+	preEmphasis   = 0.97
+)
+
+func hzToMel(hz float64) float64  { return 2595 * math.Log10(1+hz/700) }
+func melToHz(mel float64) float64 { return 700 * (math.Pow(10, mel/2595) - 1) }
+
+// melFilterbank builds triangular filters over the power-spectrum bins.
+func melFilterbank(nBins int, sampleRate int) [][]float64 {
+	nyquist := float64(sampleRate) / 2
+	melMax := hzToMel(nyquist)
+	points := make([]float64, numMelFilters+2)
+	for i := range points {
+		points[i] = melToHz(melMax * float64(i) / float64(numMelFilters+1))
+	}
+	binOf := func(hz float64) float64 { return hz / nyquist * float64(nBins-1) }
+	filters := make([][]float64, numMelFilters)
+	for m := 0; m < numMelFilters; m++ {
+		f := make([]float64, nBins)
+		lo, mid, hi := binOf(points[m]), binOf(points[m+1]), binOf(points[m+2])
+		for b := 0; b < nBins; b++ {
+			x := float64(b)
+			switch {
+			case x >= lo && x <= mid && mid > lo:
+				f[b] = (x - lo) / (mid - lo)
+			case x > mid && x <= hi && hi > mid:
+				f[b] = (hi - x) / (hi - mid)
+			}
+		}
+		filters[m] = f
+	}
+	return filters
+}
+
+// MFCCs computes the 14-dim mel-frequency cepstral coefficient sequence of
+// a clip. It returns one vector per 30 ms analysis window (10 ms hop);
+// clips shorter than one window yield nil.
+func MFCCs(samples []float64, sampleRate int) [][]float64 {
+	win := int(mfccWindowSec * float64(sampleRate))
+	hop := int(mfccHopSec * float64(sampleRate))
+	if win < 2 || hop < 1 || len(samples) < win {
+		return nil
+	}
+	// Pre-emphasis.
+	emph := make([]float64, len(samples))
+	emph[0] = samples[0]
+	for i := 1; i < len(samples); i++ {
+		emph[i] = samples[i] - preEmphasis*samples[i-1]
+	}
+	nBins := nextPow2(win)/2 + 1
+	filters := melFilterbank(nBins, sampleRate)
+	var out [][]float64
+	for start := 0; start+win <= len(emph); start += hop {
+		spec := powerSpectrum(emph[start : start+win])
+		logMel := make([]float64, numMelFilters)
+		for m, f := range filters {
+			var e float64
+			for b, w := range f {
+				if w > 0 {
+					e += w * spec[b]
+				}
+			}
+			logMel[m] = math.Log(e + 1e-12)
+		}
+		out = append(out, dctII(logMel, NumMFCC))
+	}
+	return out
+}
+
+// dctII computes the first n coefficients of the orthonormal DCT-II of x.
+func dctII(x []float64, n int) []float64 {
+	out := make([]float64, n)
+	k := float64(len(x))
+	for c := 0; c < n; c++ {
+		var s float64
+		for i, v := range x {
+			s += v * math.Cos(math.Pi*float64(c)*(float64(i)+0.5)/k)
+		}
+		scale := math.Sqrt(2 / k)
+		if c == 0 {
+			scale = math.Sqrt(1 / k)
+		}
+		out[c] = s * scale
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package baseline
+
+import (
+	"testing"
+
+	"classminer/internal/feature"
+	"classminer/internal/vidmodel"
+)
+
+func mkShot(idx, colorBin int) *vidmodel.Shot {
+	c := make([]float64, feature.ColorBins)
+	c[colorBin] = 1
+	tx := make([]float64, feature.TextureDims)
+	tx[colorBin%feature.TextureDims] = 1
+	return &vidmodel.Shot{Index: idx, Start: idx * 30, End: (idx + 1) * 30, Color: c, Texture: tx}
+}
+
+// blocks builds a shot sequence of consecutive visually coherent blocks.
+func blocks(sizes []int, bins []int) []*vidmodel.Shot {
+	var shots []*vidmodel.Shot
+	idx := 0
+	for b, n := range sizes {
+		for i := 0; i < n; i++ {
+			shots = append(shots, mkShot(idx, bins[b]))
+			idx++
+		}
+	}
+	return shots
+}
+
+func TestRuiTOCBlocks(t *testing.T) {
+	shots := blocks([]int{4, 4, 4}, []int{1, 80, 160})
+	res, err := RuiTOC(shots, RuiConfig{Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenes) != 3 {
+		t.Fatalf("got %d scenes, want 3", len(res.Scenes))
+	}
+	covered := 0
+	for _, sc := range res.Scenes {
+		covered += sc.ShotCount()
+	}
+	if covered != len(shots) {
+		t.Fatalf("scenes cover %d shots, want %d", covered, len(shots))
+	}
+}
+
+func TestRuiTOCInterleavedGroupsMerge(t *testing.T) {
+	// A/B alternation: groups interleave in time, so Method B puts them in
+	// one scene (the table-of-content property).
+	var shots []*vidmodel.Shot
+	for i := 0; i < 8; i++ {
+		bin := 1
+		if i%2 == 1 {
+			bin = 90
+		}
+		shots = append(shots, mkShot(i, bin))
+	}
+	res, err := RuiTOC(shots, RuiConfig{Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenes) != 1 {
+		t.Fatalf("interleaved groups became %d scenes, want 1", len(res.Scenes))
+	}
+	if len(res.Scenes[0].Groups) < 2 {
+		t.Fatalf("scene should contain both interleaved groups, got %d", len(res.Scenes[0].Groups))
+	}
+}
+
+func TestRuiTOCTemporalAttenuation(t *testing.T) {
+	// The same colour recurring far later must NOT rejoin its old group —
+	// the exponential attenuation kills long-distance attraction.
+	var shots []*vidmodel.Shot
+	for i := 0; i < 3; i++ {
+		shots = append(shots, mkShot(i, 1))
+	}
+	for i := 3; i < 40; i++ {
+		shots = append(shots, mkShot(i, 80))
+	}
+	for i := 40; i < 43; i++ {
+		shots = append(shots, mkShot(i, 1)) // recurrence, 37 shots later
+	}
+	res, err := RuiTOC(shots, RuiConfig{Threshold: 0.5, Tau: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenes) < 3 {
+		t.Fatalf("distant recurrence merged: %d scenes, want >= 3", len(res.Scenes))
+	}
+}
+
+func TestLinZhangBlocks(t *testing.T) {
+	shots := blocks([]int{5, 5, 5}, []int{1, 80, 160})
+	res, err := LinZhang(shots, LinConfig{Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenes) != 3 {
+		t.Fatalf("got %d scenes, want 3", len(res.Scenes))
+	}
+}
+
+func TestLinZhangWindowLinksAcrossInterruption(t *testing.T) {
+	// A B A B A: window linking keeps one scene despite alternation.
+	var shots []*vidmodel.Shot
+	for i := 0; i < 9; i++ {
+		bin := 1
+		if i%2 == 1 {
+			bin = 90
+		}
+		shots = append(shots, mkShot(i, bin))
+	}
+	res, err := LinZhang(shots, LinConfig{Window: 4, Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenes) != 1 {
+		t.Fatalf("alternation split into %d scenes, want 1", len(res.Scenes))
+	}
+}
+
+func TestLinZhangSmallWindowMisses(t *testing.T) {
+	// With window 1 the same alternation shatters — the window size is
+	// what makes Method C aggressive.
+	var shots []*vidmodel.Shot
+	for i := 0; i < 9; i++ {
+		bin := 1
+		if i%2 == 1 {
+			bin = 90
+		}
+		shots = append(shots, mkShot(i, bin))
+	}
+	res, err := LinZhang(shots, LinConfig{Window: 1, Threshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenes) < 5 {
+		t.Fatalf("window-1 alternation produced %d scenes, want many", len(res.Scenes))
+	}
+}
+
+func TestScenesTileSequence(t *testing.T) {
+	shots := blocks([]int{4, 3, 6, 2}, []int{1, 60, 120, 200})
+	for name, run := range map[string]func() (*Result, error){
+		"rui": func() (*Result, error) { return RuiTOC(shots, RuiConfig{}) },
+		"lin": func() (*Result, error) { return LinZhang(shots, LinConfig{}) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		seen := map[int]bool{}
+		for _, sc := range res.Scenes {
+			for _, s := range sc.Shots() {
+				if seen[s.Index] {
+					t.Fatalf("%s: shot %d in two scenes", name, s.Index)
+				}
+				seen[s.Index] = true
+			}
+		}
+		if len(seen) != len(shots) {
+			t.Fatalf("%s: covered %d shots, want %d", name, len(seen), len(shots))
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if _, err := RuiTOC(nil, RuiConfig{}); err == nil {
+		t.Fatal("RuiTOC wants error on empty input")
+	}
+	if _, err := LinZhang(nil, LinConfig{}); err == nil {
+		t.Fatal("LinZhang wants error on empty input")
+	}
+}

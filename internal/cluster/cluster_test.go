@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"classminer/internal/feature"
+	"classminer/internal/vidmodel"
+)
+
+// mkScene builds a one-group scene whose shots all live in the given colour
+// bin, so scenes with equal bins are perfect cluster mates.
+func mkScene(idx, colorBin int) *vidmodel.Scene {
+	mk := func(i int) *vidmodel.Shot {
+		c := make([]float64, feature.ColorBins)
+		c[colorBin] = 1
+		tx := make([]float64, feature.TextureDims)
+		tx[colorBin%feature.TextureDims] = 1
+		return &vidmodel.Shot{Index: idx*10 + i, Start: (idx*10 + i) * 10, End: (idx*10 + i + 1) * 10, Color: c, Texture: tx}
+	}
+	g := &vidmodel.Group{Index: idx, Shots: []*vidmodel.Shot{mk(0), mk(1), mk(2)}}
+	g.RepShots = []*vidmodel.Shot{g.Shots[0]}
+	sc := &vidmodel.Scene{Index: idx, Groups: []*vidmodel.Group{g}, RepGroup: g}
+	return sc
+}
+
+func TestClusterScenesMergesRecurrences(t *testing.T) {
+	// Six scenes, three recurring pairs. Forcing N=3 must recover them.
+	scenes := []*vidmodel.Scene{
+		mkScene(0, 1), mkScene(1, 50), mkScene(2, 1),
+		mkScene(3, 120), mkScene(4, 50), mkScene(5, 120),
+	}
+	res, err := ClusterScenes(scenes, Options{N: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 3 {
+		t.Fatalf("got %d clusters, want 3", len(res.Clusters))
+	}
+	for _, c := range res.Clusters {
+		if len(c.Scenes) != 2 {
+			t.Fatalf("cluster %d has %d scenes, want 2", c.Index, len(c.Scenes))
+		}
+		// Both members must share the colour bin (same recurrence).
+		b0 := argmax(c.Scenes[0].Groups[0].Shots[0].Color)
+		b1 := argmax(c.Scenes[1].Groups[0].Shots[0].Color)
+		if b0 != b1 {
+			t.Fatalf("cluster %d mixed bins %d and %d", c.Index, b0, b1)
+		}
+		if c.RepGroup == nil {
+			t.Fatal("cluster missing centroid group")
+		}
+	}
+}
+
+func argmax(v []float64) int {
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestClusterScenesValidityRange(t *testing.T) {
+	// Ten scenes from four true settings; the validity analysis must pick
+	// N inside [5, 7] (50–70 % of 10).
+	var scenes []*vidmodel.Scene
+	bins := []int{1, 1, 1, 60, 60, 60, 120, 120, 200, 200}
+	for i, b := range bins {
+		scenes = append(scenes, mkScene(i, b))
+	}
+	res, err := ClusterScenes(scenes, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OptimalN < 5 || res.OptimalN > 7 {
+		t.Fatalf("optimal N = %d, want in [5,7]", res.OptimalN)
+	}
+	if len(res.Rho) == 0 {
+		t.Fatal("validity scores must be recorded")
+	}
+	total := 0
+	for _, c := range res.Clusters {
+		total += len(c.Scenes)
+	}
+	if total != len(scenes) {
+		t.Fatalf("clusters cover %d scenes, want %d", total, len(scenes))
+	}
+}
+
+func TestClusterScenesSingleScene(t *testing.T) {
+	res, err := ClusterScenes([]*vidmodel.Scene{mkScene(0, 1)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 1 || res.OptimalN != 1 {
+		t.Fatalf("single scene: %d clusters, N=%d", len(res.Clusters), res.OptimalN)
+	}
+}
+
+func TestClusterScenesEmpty(t *testing.T) {
+	if _, err := ClusterScenes(nil, Options{}); err == nil {
+		t.Fatal("want error on no scenes")
+	}
+}
+
+func TestClusterScenesForcedNClamped(t *testing.T) {
+	scenes := []*vidmodel.Scene{mkScene(0, 1), mkScene(1, 2)}
+	res, err := ClusterScenes(scenes, Options{N: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("clamped N: got %d clusters, want 2", len(res.Clusters))
+	}
+}
+
+func TestClusterScenesDeterministic(t *testing.T) {
+	mk := func() []*vidmodel.Scene {
+		return []*vidmodel.Scene{
+			mkScene(0, 1), mkScene(1, 50), mkScene(2, 1), mkScene(3, 50),
+			mkScene(4, 90), mkScene(5, 90), mkScene(6, 130), mkScene(7, 130),
+		}
+	}
+	a, err := ClusterScenes(mk(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ClusterScenes(mk(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.OptimalN != b.OptimalN || len(a.Clusters) != len(b.Clusters) {
+		t.Fatal("PCS must be deterministic")
+	}
+	for i := range a.Clusters {
+		if len(a.Clusters[i].Scenes) != len(b.Clusters[i].Scenes) {
+			t.Fatalf("cluster %d sizes differ", i)
+		}
+	}
+}
+
+func TestKMeansScenesPartitions(t *testing.T) {
+	scenes := []*vidmodel.Scene{
+		mkScene(0, 1), mkScene(1, 1), mkScene(2, 200), mkScene(3, 200),
+	}
+	res, err := KMeansScenes(scenes, 2, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 2 {
+		t.Fatalf("got %d clusters, want 2", len(res.Clusters))
+	}
+	total := 0
+	for _, c := range res.Clusters {
+		total += len(c.Scenes)
+	}
+	if total != 4 {
+		t.Fatalf("clusters cover %d scenes, want 4", total)
+	}
+}
+
+func TestKMeansScenesErrors(t *testing.T) {
+	if _, err := KMeansScenes(nil, 2, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("want error on empty scenes")
+	}
+}
+
+// Property: PCS never loses or duplicates a scene, for any forced N.
+func TestClusterScenesPropertyCoverage(t *testing.T) {
+	bins := []int{1, 5, 9, 1, 5, 9, 40, 40, 80, 80, 120, 160}
+	var scenes []*vidmodel.Scene
+	for i, b := range bins {
+		scenes = append(scenes, mkScene(i, b))
+	}
+	for n := 1; n <= len(scenes); n++ {
+		res, err := ClusterScenes(scenes, Options{N: n})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[*vidmodel.Scene]bool{}
+		for _, c := range res.Clusters {
+			for _, s := range c.Scenes {
+				if seen[s] {
+					t.Fatalf("N=%d: scene duplicated", n)
+				}
+				seen[s] = true
+			}
+		}
+		if len(seen) != len(scenes) {
+			t.Fatalf("N=%d: covered %d scenes, want %d", n, len(seen), len(scenes))
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"classminer/internal/mat"
+	"classminer/internal/structure"
+	"classminer/internal/vidmodel"
+)
+
+// KMeansScenes is the seeded comparator the paper argues against in §3.5:
+// scenes are embedded as the 266-dim descriptors of their representative
+// groups' representative shots and clustered with k-means. It exists for
+// the PCS-vs-K-means ablation bench; its sensitivity to the seed is the
+// behaviour the ablation demonstrates.
+func KMeansScenes(scenes []*vidmodel.Scene, n int, rng *rand.Rand) (*Result, error) {
+	if len(scenes) == 0 {
+		return nil, fmt.Errorf("cluster: no scenes")
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(scenes) {
+		n = len(scenes)
+	}
+	vecs := make([][]float64, len(scenes))
+	for i, s := range scenes {
+		rep := s.RepGroup
+		if rep == nil {
+			rep = structure.SelectRepGroup(s)
+		}
+		if rep == nil || len(rep.RepShots) == 0 || rep.RepShots[0] == nil {
+			// Fall back to the first shot when no representative exists.
+			shots := s.Shots()
+			if len(shots) == 0 {
+				return nil, fmt.Errorf("cluster: scene %d has no shots", i)
+			}
+			vecs[i] = shots[0].Feature()
+			continue
+		}
+		vecs[i] = rep.RepShots[0].Feature()
+	}
+	km, err := mat.KMeans(vecs, n, rng, 50)
+	if err != nil {
+		return nil, err
+	}
+	byCluster := map[int][]*vidmodel.Scene{}
+	for i, c := range km.Assignment {
+		byCluster[c] = append(byCluster[c], scenes[i])
+	}
+	res := &Result{OptimalN: 0}
+	for c := 0; c < n; c++ {
+		members := byCluster[c]
+		if len(members) == 0 {
+			continue
+		}
+		var groups []*vidmodel.Group
+		for _, s := range members {
+			groups = append(groups, s.Groups...)
+		}
+		res.Clusters = append(res.Clusters, &vidmodel.ClusteredScene{
+			Index:    len(res.Clusters),
+			Scenes:   members,
+			RepGroup: structure.SelectRepGroup(&vidmodel.Scene{Groups: groups}),
+		})
+	}
+	res.OptimalN = len(res.Clusters)
+	return res, nil
+}

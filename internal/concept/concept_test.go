@@ -1,0 +1,158 @@
+package concept
+
+import (
+	"testing"
+
+	"classminer/internal/vidmodel"
+)
+
+func TestMedicalHierarchyShape(t *testing.T) {
+	h := Medical()
+	if h.Root == nil || h.Root.Name != "database" {
+		t.Fatal("root must be the database node")
+	}
+	if got := len(h.Nodes(LevelCluster)); got != 3 {
+		t.Fatalf("clusters = %d, want 3", got)
+	}
+	if got := len(h.Nodes(LevelSubcluster)); got < 3 {
+		t.Fatalf("subclusters = %d, want >= 3", got)
+	}
+	scenes := h.Nodes(LevelScene)
+	if len(scenes) < 9 {
+		t.Fatalf("scene concepts = %d, want >= 9", len(scenes))
+	}
+}
+
+func TestFindCaseInsensitive(t *testing.T) {
+	h := Medical()
+	if h.Find("Medical Education") == nil {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if h.Find("no such thing") != nil {
+		t.Fatal("unknown lookup must be nil")
+	}
+}
+
+func TestNodePath(t *testing.T) {
+	h := Medical()
+	n := h.Find("medicine/presentation")
+	if n == nil {
+		t.Fatal("scene concept missing")
+	}
+	p := n.Path()
+	want := []string{"medical education", "medicine", "medicine/presentation"}
+	if len(p) != len(want) {
+		t.Fatalf("path = %v", p)
+	}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("path[%d] = %q, want %q", i, p[i], want[i])
+		}
+	}
+}
+
+func TestLCA(t *testing.T) {
+	h := Medical()
+	lca := h.LCA("medicine/presentation", "medicine/dialog")
+	if lca == nil || lca.Name != "medicine" {
+		t.Fatalf("LCA = %v, want medicine", lca)
+	}
+	lca = h.LCA("medicine/presentation", "nursing/dialog")
+	if lca == nil || lca.Name != "medical education" {
+		t.Fatalf("LCA = %v, want medical education", lca)
+	}
+	if h.LCA("medicine", "nonexistent") != nil {
+		t.Fatal("LCA with unknown node must be nil")
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	h := NewHierarchy("database")
+	if _, err := h.Add("missing", "x"); err == nil {
+		t.Fatal("want unknown-parent error")
+	}
+	if _, err := h.Add("database", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Add("database", "a"); err == nil {
+		t.Fatal("want duplicate error")
+	}
+}
+
+func TestSceneConceptMapping(t *testing.T) {
+	cases := map[vidmodel.EventKind]string{
+		vidmodel.EventPresentation:      "medicine/presentation",
+		vidmodel.EventDialog:            "medicine/dialog",
+		vidmodel.EventClinicalOperation: "medicine/clinical operation",
+		vidmodel.EventUnknown:           "medicine/other",
+	}
+	h := Medical()
+	for kind, want := range cases {
+		got := SceneConcept("medicine", kind)
+		if got != want {
+			t.Fatalf("SceneConcept(%v) = %q, want %q", kind, got, want)
+		}
+		if h.Find(got) == nil {
+			t.Fatalf("concept %q missing from hierarchy", got)
+		}
+	}
+}
+
+func TestLexiconHypernymChain(t *testing.T) {
+	l := MedicalLexicon()
+	chain, err := l.HypernymChain("laparoscopy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"laparoscopy", "surgery", "clinical operation", "medicine", "medical education", "database"}
+	if len(chain) != len(want) {
+		t.Fatalf("chain = %v", chain)
+	}
+	for i := range want {
+		if chain[i] != want[i] {
+			t.Fatalf("chain[%d] = %q, want %q", i, chain[i], want[i])
+		}
+	}
+}
+
+func TestLexiconSynonyms(t *testing.T) {
+	l := MedicalLexicon()
+	if l.Canonical("Dialogue") != "dialog" {
+		t.Fatal("synonym resolution failed")
+	}
+	if _, err := l.HypernymChain("lecture"); err != nil {
+		t.Fatalf("synonym chain failed: %v", err)
+	}
+}
+
+func TestLexiconUnknown(t *testing.T) {
+	l := MedicalLexicon()
+	if _, err := l.HypernymChain("astrophysics"); err == nil {
+		t.Fatal("want unknown-word error")
+	}
+}
+
+func TestBuildHierarchyFromLexicon(t *testing.T) {
+	l := MedicalLexicon()
+	h, err := BuildHierarchy(l, []string{"laparoscopy", "skin examination", "presentation", "dialog"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"surgery", "diagnosis", "clinical operation", "medicine", "laparoscopy"} {
+		if h.Find(name) == nil {
+			t.Fatalf("derived hierarchy missing %q", name)
+		}
+	}
+	// Laparoscopy must sit under surgery.
+	if n := h.Find("laparoscopy"); n.Parent.Name != "surgery" {
+		t.Fatalf("laparoscopy parent = %q", n.Parent.Name)
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for _, l := range []Level{LevelRoot, LevelCluster, LevelSubcluster, LevelScene, Level(9)} {
+		if l.String() == "" {
+			t.Fatal("empty level string")
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package concept
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Lexicon is the miniature WordNet stand-in of §2: a directed hypernym
+// relation over the medical-domain vocabulary, from which concept
+// hierarchies are derived. The paper obtains its hierarchy "provided by
+// domain experts or obtained using WordNet"; this embedded lexicon plays
+// the latter role offline.
+type Lexicon struct {
+	hypernym map[string]string
+	synonym  map[string]string // surface form -> canonical form
+}
+
+// MedicalLexicon returns the built-in domain lexicon covering the Fig. 2
+// vocabulary and common surface variants.
+func MedicalLexicon() *Lexicon {
+	l := &Lexicon{hypernym: map[string]string{}, synonym: map[string]string{}}
+	rel := func(word, hyper string) { l.hypernym[word] = hyper }
+	syn := func(surface, canon string) { l.synonym[surface] = canon }
+
+	rel("health care", "database")
+	rel("medical education", "database")
+	rel("medical report", "database")
+	rel("medicine", "medical education")
+	rel("nursing", "medical education")
+	rel("dentistry", "medical education")
+	rel("presentation", "medicine")
+	rel("dialog", "medicine")
+	rel("clinical operation", "medicine")
+	rel("surgery", "clinical operation")
+	rel("diagnosis", "clinical operation")
+	rel("laparoscopy", "surgery")
+	rel("face repair", "surgery")
+	rel("laser eye surgery", "surgery")
+	rel("skin examination", "diagnosis")
+	rel("nuclear medicine", "diagnosis")
+
+	syn("dialogue", "dialog")
+	syn("talk", "presentation")
+	syn("lecture", "presentation")
+	syn("operation", "clinical operation")
+	syn("derm exam", "skin examination")
+	return l
+}
+
+// Canonical resolves a surface form to its canonical lexicon entry.
+func (l *Lexicon) Canonical(word string) string {
+	w := strings.ToLower(strings.TrimSpace(word))
+	if c, ok := l.synonym[w]; ok {
+		return c
+	}
+	return w
+}
+
+// HypernymChain returns the chain from the word up to (and including) the
+// root concept, or an error for unknown words.
+func (l *Lexicon) HypernymChain(word string) ([]string, error) {
+	w := l.Canonical(word)
+	if _, ok := l.hypernym[w]; !ok && w != "database" {
+		return nil, fmt.Errorf("concept: unknown word %q", word)
+	}
+	chain := []string{w}
+	for w != "database" {
+		next, ok := l.hypernym[w]
+		if !ok {
+			return nil, fmt.Errorf("concept: broken hypernym chain at %q", w)
+		}
+		chain = append(chain, next)
+		w = next
+		if len(chain) > 32 {
+			return nil, fmt.Errorf("concept: hypernym cycle involving %q", word)
+		}
+	}
+	return chain, nil
+}
+
+// BuildHierarchy derives a concept hierarchy from the lexicon for the given
+// leaf vocabulary: each leaf's hypernym chain is merged into a single tree
+// rooted at "database". This is how a domain hierarchy like Fig. 2 is
+// obtained automatically from lexical knowledge.
+func BuildHierarchy(l *Lexicon, leaves []string) (*Hierarchy, error) {
+	h := NewHierarchy("database")
+	for _, leaf := range leaves {
+		chain, err := l.HypernymChain(leaf)
+		if err != nil {
+			return nil, err
+		}
+		// chain is leaf..root; insert top-down.
+		for i := len(chain) - 2; i >= 0; i-- {
+			name, parent := chain[i], chain[i+1]
+			if h.Find(name) != nil {
+				continue
+			}
+			if _, err := h.Add(parent, name); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return h, nil
+}

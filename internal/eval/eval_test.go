@@ -1,0 +1,227 @@
+package eval
+
+import (
+	"math/rand"
+	"testing"
+
+	"classminer/internal/skim"
+	"classminer/internal/vidmodel"
+)
+
+func TestScenePrecisionJudging(t *testing.T) {
+	truth := &vidmodel.GroundTruth{Scenes: []vidmodel.TrueScene{
+		{StartFrame: 0, EndFrame: 100},
+		{StartFrame: 100, EndFrame: 200},
+	}}
+	pure := &vidmodel.Scene{Groups: []*vidmodel.Group{{Shots: []*vidmodel.Shot{
+		{Start: 0, End: 40}, {Start: 40, End: 90},
+	}}}}
+	straddling := &vidmodel.Scene{Groups: []*vidmodel.Group{{Shots: []*vidmodel.Shot{
+		{Start: 80, End: 100}, {Start: 100, End: 140},
+	}}}}
+	right, total, p := ScenePrecision([]*vidmodel.Scene{pure, straddling}, truth)
+	if right != 1 || total != 2 || p != 0.5 {
+		t.Fatalf("precision = %d/%d = %v", right, total, p)
+	}
+}
+
+func TestScenePrecisionOutsideTruth(t *testing.T) {
+	truth := &vidmodel.GroundTruth{Scenes: []vidmodel.TrueScene{{StartFrame: 0, EndFrame: 10}}}
+	outside := &vidmodel.Scene{Groups: []*vidmodel.Group{{Shots: []*vidmodel.Shot{{Start: 500, End: 520}}}}}
+	if right, _, _ := ScenePrecision([]*vidmodel.Scene{outside}, truth); right != 0 {
+		t.Fatal("scene outside any true unit cannot be right")
+	}
+}
+
+func TestCRF(t *testing.T) {
+	if CRF(10, 100) != 0.1 {
+		t.Fatal("CRF")
+	}
+	if CRF(5, 0) != 0 {
+		t.Fatal("CRF with zero shots")
+	}
+}
+
+func TestEventRowMath(t *testing.T) {
+	r := EventRow{Event: "x", SN: 15, DN: 16, TN: 13}
+	r.FinishRow()
+	if r.PR < 0.81 || r.PR > 0.82 {
+		t.Fatalf("PR = %v", r.PR)
+	}
+	if r.RE < 0.86 || r.RE > 0.87 {
+		t.Fatalf("RE = %v", r.RE)
+	}
+	avg := AverageRow([]EventRow{
+		{SN: 15, DN: 16, TN: 13},
+		{SN: 28, DN: 33, TN: 24},
+		{SN: 39, DN: 32, TN: 21},
+	})
+	if avg.SN != 82 || avg.DN != 81 || avg.TN != 58 {
+		t.Fatalf("avg counts = %+v", avg)
+	}
+	if avg.PR < 0.71 || avg.PR > 0.72 {
+		t.Fatalf("avg PR = %v (paper: 0.72)", avg.PR)
+	}
+	if avg.RE < 0.70 || avg.RE > 0.71 {
+		t.Fatalf("avg RE = %v (paper: 0.71)", avg.RE)
+	}
+}
+
+func TestRunShotDetection(t *testing.T) {
+	rep, err := RunShotDetection(CorpusConfig{Scale: 0.2, Seed: 5}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Recall < 0.75 {
+		t.Fatalf("shot recall = %.2f (matched %d of %d)", rep.Recall, rep.Matched, rep.TrueCuts)
+	}
+	if rep.Precision < 0.75 {
+		t.Fatalf("shot precision = %.2f", rep.Precision)
+	}
+	if len(rep.Trace.Diffs) == 0 || len(rep.Trace.Thresholds) != len(rep.Trace.Diffs) {
+		t.Fatal("trace incomplete")
+	}
+}
+
+func TestRunShotDetectionUnknownVideo(t *testing.T) {
+	if _, err := RunShotDetection(CorpusConfig{Scale: 0.2}, "nope"); err == nil {
+		t.Fatal("want error for unknown video")
+	}
+}
+
+func TestRunSceneDetectionShapes(t *testing.T) {
+	rows, err := RunSceneDetection(CorpusConfig{Scale: 1.0, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byM := map[string]MethodRow{}
+	for _, r := range rows {
+		byM[r.Method[:1]] = r
+		if r.Total == 0 {
+			t.Fatalf("method %s detected no scenes", r.Method)
+		}
+	}
+	// The paper's Fig. 12/13 shape: A has the best precision; C compresses
+	// hardest (smallest CRF) at the worst precision.
+	if byM["A"].Precision < byM["B"].Precision || byM["A"].Precision < byM["C"].Precision {
+		t.Fatalf("method A precision %.3f not best (B %.3f, C %.3f)",
+			byM["A"].Precision, byM["B"].Precision, byM["C"].Precision)
+	}
+	if byM["C"].CRF > byM["A"].CRF {
+		t.Fatalf("method C CRF %.3f should be below A's %.3f", byM["C"].CRF, byM["A"].CRF)
+	}
+}
+
+func TestRunEventMiningShapes(t *testing.T) {
+	rows, err := RunEventMining(CorpusConfig{Scale: 0.3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 3 + average", len(rows))
+	}
+	avg := rows[3]
+	if avg.Event != "average" {
+		t.Fatalf("last row = %q", avg.Event)
+	}
+	if avg.SN == 0 {
+		t.Fatal("no benchmark scenes selected")
+	}
+	if avg.PR < 0.5 || avg.RE < 0.5 {
+		t.Fatalf("average PR/RE = %.2f/%.2f, want both >= 0.5 (paper: 0.72/0.71)", avg.PR, avg.RE)
+	}
+}
+
+func TestRunIndexCostShapes(t *testing.T) {
+	rows, err := RunIndexCost(CorpusConfig{Scale: 0.3, Seed: 11}, nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.HierFloatOps*2 > r.FlatFloatOps {
+		t.Fatalf("hierarchical float ops %d not well below flat %d", r.HierFloatOps, r.FlatFloatOps)
+	}
+	if r.TopAgree < 0.6 {
+		t.Fatalf("top-1 agreement = %.2f", r.TopAgree)
+	}
+}
+
+func TestRunSkimStudyShapes(t *testing.T) {
+	scores, fcrs, err := RunSkimStudy(CorpusConfig{Scale: 0.3, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 4 || len(fcrs) != 4 {
+		t.Fatalf("rows = %d/%d", len(scores), len(fcrs))
+	}
+	// Fig. 15 shape: FCR falls monotonically with level; level 1 = 1.
+	if fcrs[0].FCR < 0.99 {
+		t.Fatalf("level-1 FCR = %v", fcrs[0].FCR)
+	}
+	for i := 1; i < 4; i++ {
+		if fcrs[i].FCR > fcrs[i-1].FCR+1e-9 {
+			t.Fatalf("FCR not monotone: %v", fcrs)
+		}
+	}
+	// Fig. 14 shape: scenario coverage (Q2) falls toward level 4;
+	// conciseness (Q3) rises toward level 4.
+	if scores[0].Q2 < scores[3].Q2 {
+		t.Fatalf("Q2 shape wrong: %v", scores)
+	}
+	if scores[3].Q3 < scores[0].Q3 {
+		t.Fatalf("Q3 shape wrong: %v", scores)
+	}
+	for _, s := range scores {
+		if s.Q1 < 0 || s.Q1 > 5 || s.Q2 < 0 || s.Q2 > 5 || s.Q3 < 0 || s.Q3 > 5 {
+			t.Fatalf("scores out of range: %+v", s)
+		}
+	}
+}
+
+func TestScoreSkimDirect(t *testing.T) {
+	// Hand-built skim over a 2-scene truth.
+	shots := []*vidmodel.Shot{{Index: 0, Start: 0, End: 30}, {Index: 1, Start: 100, End: 130}}
+	groups := []*vidmodel.Group{{Shots: shots, RepShots: shots[:1]}}
+	scenes := []*vidmodel.Scene{{Groups: groups, RepGroup: groups[0]}}
+	sk, err := skim.Build(shots, groups, scenes, nil, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := &vidmodel.GroundTruth{Scenes: []vidmodel.TrueScene{
+		{StartFrame: 0, EndFrame: 100, ClusterID: 1},
+		{StartFrame: 100, EndFrame: 200, ClusterID: 2},
+	}}
+	sc := ScoreSkim(sk, skim.Level1, truth, rand.New(rand.NewSource(1)))
+	if sc.Q1 <= 0 || sc.Q2 <= 0 || sc.Q3 <= 0 {
+		t.Fatalf("scores = %+v", sc)
+	}
+}
+
+func TestRunIndexCostSweep(t *testing.T) {
+	rows, err := RunIndexCost(CorpusConfig{Scale: 0.3, Seed: 11}, []int{40, 80, 1 << 20}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	// Flat cost grows linearly with N; hierarchical cost grows much slower.
+	if rows[1].FlatFloatOps <= rows[0].FlatFloatOps {
+		t.Fatal("flat cost must grow with N")
+	}
+	flatGrowth := float64(rows[2].FlatFloatOps) / float64(rows[0].FlatFloatOps)
+	hierGrowth := float64(rows[2].HierFloatOps) / float64(rows[0].HierFloatOps)
+	if hierGrowth >= flatGrowth {
+		t.Fatalf("hierarchical growth %.1fx should be below flat growth %.1fx", hierGrowth, flatGrowth)
+	}
+	// The oversized request clamps to the corpus.
+	if rows[2].N > rows[1].N*100 {
+		t.Fatalf("size not clamped: %d", rows[2].N)
+	}
+}

@@ -1,0 +1,89 @@
+// Package eval implements the §6 evaluation harness: the scene-detection
+// precision and compression-rate metrics of Eqs. (20)–(21), the event
+// mining precision/recall table of Eqs. (22)–(23), the retrieval-cost
+// comparison of §6.2, the simulated viewer panel standing in for the five
+// student viewers of Fig. 14, the frame-compression-ratio series of
+// Fig. 15, and runners that regenerate every figure and table end to end on
+// the synthetic corpus.
+package eval
+
+import (
+	"classminer/internal/vidmodel"
+)
+
+// ScenePrecision applies the paper's Eq. (20) judging rule: a detected
+// scene is rightly detected iff ALL its shots belong to one true semantic
+// unit. It returns the counts and the precision P.
+func ScenePrecision(scenes []*vidmodel.Scene, truth *vidmodel.GroundTruth) (right, total int, p float64) {
+	for _, sc := range scenes {
+		total++
+		if scenePure(sc, truth) {
+			right++
+		}
+	}
+	if total == 0 {
+		return 0, 0, 0
+	}
+	return right, total, float64(right) / float64(total)
+}
+
+// scenePure checks that every shot's midpoint falls in the same true scene.
+func scenePure(sc *vidmodel.Scene, truth *vidmodel.GroundTruth) bool {
+	want := -2
+	for _, s := range sc.Shots() {
+		mid := (s.Start + s.End) / 2
+		ti := truth.SceneAt(mid)
+		if want == -2 {
+			want = ti
+			continue
+		}
+		if ti != want {
+			return false
+		}
+	}
+	return want >= 0
+}
+
+// CRF is the compression-rate factor of Eq. (21): detected scenes over
+// total shots.
+func CRF(nScenes, nShots int) float64 {
+	if nShots == 0 {
+		return 0
+	}
+	return float64(nScenes) / float64(nShots)
+}
+
+// EventRow is one row of Table 1. SN/DN/TN follow the paper's notation:
+// selected (benchmark), detected and true numbers; PR and RE are
+// Eqs. (22)–(23).
+type EventRow struct {
+	Event string
+	SN    int
+	DN    int
+	TN    int
+	PR    float64
+	RE    float64
+}
+
+// FinishRow fills PR and RE from the counts.
+func (r *EventRow) FinishRow() {
+	if r.DN > 0 {
+		r.PR = float64(r.TN) / float64(r.DN)
+	}
+	if r.SN > 0 {
+		r.RE = float64(r.TN) / float64(r.SN)
+	}
+}
+
+// AverageRow aggregates rows into the paper's "Average" line (sums of
+// counts, ratios recomputed from the sums).
+func AverageRow(rows []EventRow) EventRow {
+	avg := EventRow{Event: "average"}
+	for _, r := range rows {
+		avg.SN += r.SN
+		avg.DN += r.DN
+		avg.TN += r.TN
+	}
+	avg.FinishRow()
+	return avg
+}

@@ -1,0 +1,252 @@
+// Package event implements the §4.3 event mining strategy: each detected
+// scene is tested, in order, against the Presentation, Dialog and Clinical
+// Operation definitions by integrating the visual cues of §4.1 (slides,
+// faces, skin, blood) with the audio cues of §4.2 (representative clips,
+// BIC speaker changes). A scene failing all three tests is explicitly
+// Unknown (step 5).
+package event
+
+import (
+	"fmt"
+
+	"classminer/internal/audio"
+	"classminer/internal/vidmodel"
+	"classminer/internal/visual"
+)
+
+// ShotEvidence aggregates everything the §4.3 rules consult for one shot.
+type ShotEvidence struct {
+	Shot *vidmodel.Shot
+	Cues visual.Cues
+	// MFCC is the representative clip's feature sequence; nil when the
+	// shot was discarded from audio analysis (shorter than 2 s) or no
+	// clip could be selected.
+	MFCC [][]float64
+	// Speechlike is true when the representative clip classified as clean
+	// speech.
+	Speechlike bool
+}
+
+// Config tunes the miner.
+type Config struct {
+	// Lambda is the BIC penalty factor (0 = audio.DefaultPenalty).
+	Lambda float64
+	// SampleRate of the video's audio track.
+	SampleRate int
+}
+
+// Miner mines events from scenes. Construct with NewMiner.
+type Miner struct {
+	clf *audio.SpeechClassifier
+	cfg Config
+}
+
+// NewMiner builds a miner around a trained speech/non-speech classifier.
+func NewMiner(clf *audio.SpeechClassifier, cfg Config) (*Miner, error) {
+	if clf == nil {
+		return nil, fmt.Errorf("event: nil speech classifier")
+	}
+	if cfg.SampleRate <= 0 {
+		return nil, fmt.Errorf("event: sample rate must be positive, got %d", cfg.SampleRate)
+	}
+	if cfg.Lambda <= 0 {
+		cfg.Lambda = audio.DefaultPenalty
+	}
+	return &Miner{clf: clf, cfg: cfg}, nil
+}
+
+// GatherEvidence runs the §4.1 visual processing on every shot's
+// representative frame and the §4.2 audio processing on every shot's audio
+// span, returning evidence indexed by shot index.
+func (m *Miner) GatherEvidence(v *vidmodel.Video, shots []*vidmodel.Shot) map[int]*ShotEvidence {
+	out := make(map[int]*ShotEvidence, len(shots))
+	for _, s := range shots {
+		ev := &ShotEvidence{Shot: s, Cues: visual.Analyze(v.Frames[s.RepFrame])}
+		if v.Audio != nil {
+			samples := v.Audio.Slice(s.Start, s.End, v.FPS)
+			if clip, score, ok := m.clf.RepresentativeClip(samples, v.Audio.SampleRate); ok {
+				ev.MFCC = audio.MFCCs(clip, v.Audio.SampleRate)
+				ev.Speechlike = score > 0
+			}
+		}
+		out[s.Index] = ev
+	}
+	return out
+}
+
+// speakerChanged tests for a speaker change between two shots' evidence.
+// Missing clips (discarded shots) and non-speech clips yield "no change":
+// a change of speaker requires two speakers to be heard.
+func (m *Miner) speakerChanged(a, b *ShotEvidence) bool {
+	if a == nil || b == nil || a.MFCC == nil || b.MFCC == nil {
+		return false
+	}
+	if !a.Speechlike || !b.Speechlike {
+		return false
+	}
+	res, err := audio.SpeakerChangeMFCC(a.MFCC, b.MFCC, m.cfg.Lambda)
+	if err != nil {
+		return false
+	}
+	return res.Changed
+}
+
+// sameSpeaker is the dual test used for the dialog "duplicated speaker"
+// requirement.
+func (m *Miner) sameSpeaker(a, b *ShotEvidence) bool {
+	if a == nil || b == nil || a.MFCC == nil || b.MFCC == nil || !a.Speechlike || !b.Speechlike {
+		return false
+	}
+	res, err := audio.SpeakerChangeMFCC(a.MFCC, b.MFCC, m.cfg.Lambda)
+	if err != nil {
+		return false
+	}
+	return !res.Changed
+}
+
+// MineScene classifies one scene following the §4.3 decision procedure and
+// returns the category (EventUnknown for step 5).
+func (m *Miner) MineScene(scene *vidmodel.Scene, evidence map[int]*ShotEvidence) vidmodel.EventKind {
+	shots := scene.Shots()
+	if len(shots) == 0 {
+		return vidmodel.EventUnknown
+	}
+	evs := make([]*ShotEvidence, len(shots))
+	for i, s := range shots {
+		evs[i] = evidence[s.Index]
+	}
+
+	if m.isPresentation(scene, evs) {
+		return vidmodel.EventPresentation
+	}
+	if m.isDialog(scene, evs) {
+		return vidmodel.EventDialog
+	}
+	if m.isClinical(evs) {
+		return vidmodel.EventClinicalOperation
+	}
+	return vidmodel.EventUnknown
+}
+
+// MineAll labels every scene in place and returns the per-scene outcome.
+func (m *Miner) MineAll(v *vidmodel.Video, scenes []*vidmodel.Scene, shots []*vidmodel.Shot) map[int]vidmodel.EventKind {
+	evidence := m.GatherEvidence(v, shots)
+	out := make(map[int]vidmodel.EventKind, len(scenes))
+	for _, sc := range scenes {
+		kind := m.MineScene(sc, evidence)
+		sc.Event = kind
+		out[sc.Index] = kind
+	}
+	return out
+}
+
+// isPresentation is §4.3 step 2: slides or clipart present, a face
+// close-up present, at least one temporally related group, and no speaker
+// change between any adjacent shots.
+func (m *Miner) isPresentation(scene *vidmodel.Scene, evs []*ShotEvidence) bool {
+	hasSlide, hasCloseUp := false, false
+	for _, ev := range evs {
+		if ev == nil {
+			continue
+		}
+		if ev.Cues.Kind.IsManMade() {
+			hasSlide = true
+		}
+		if ev.Cues.FaceCloseUp {
+			hasCloseUp = true
+		}
+	}
+	if !hasSlide || !hasCloseUp {
+		return false
+	}
+	if allGroupsSpatial(scene) {
+		return false
+	}
+	for i := 0; i+1 < len(evs); i++ {
+		if m.speakerChanged(evs[i], evs[i+1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// isDialog is §4.3 step 3: adjacent face shots exist, at least one
+// temporally related group, a speaker change occurs between some adjacent
+// face pair, and at least one speaker is heard in two or more shots.
+func (m *Miner) isDialog(scene *vidmodel.Scene, evs []*ShotEvidence) bool {
+	var facePairs [][2]int
+	for i := 0; i+1 < len(evs); i++ {
+		if evs[i] != nil && evs[i+1] != nil && evs[i].Cues.HasFace && evs[i+1].Cues.HasFace {
+			facePairs = append(facePairs, [2]int{i, i + 1})
+		}
+	}
+	if len(facePairs) == 0 {
+		return false
+	}
+	if allGroupsSpatial(scene) {
+		return false
+	}
+	var changed []int // shots participating in a changed face pair
+	for _, p := range facePairs {
+		if m.speakerChanged(evs[p[0]], evs[p[1]]) {
+			changed = append(changed, p[0], p[1])
+		}
+	}
+	if len(changed) == 0 {
+		return false
+	}
+	// Duplicated speaker: two non-adjacent participating shots whose clips
+	// the BIC test attributes to one speaker.
+	for i := 0; i < len(changed); i++ {
+		for j := i + 1; j < len(changed); j++ {
+			a, b := changed[i], changed[j]
+			if a == b || abs(a-b) == 1 {
+				continue
+			}
+			if m.sameSpeaker(evs[a], evs[b]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isClinical is §4.3 step 4: no speaker change anywhere, and either a skin
+// close-up or blood-red region in some shot, or skin regions in more than
+// half of the representative frames.
+func (m *Miner) isClinical(evs []*ShotEvidence) bool {
+	for i := 0; i+1 < len(evs); i++ {
+		if m.speakerChanged(evs[i], evs[i+1]) {
+			return false
+		}
+	}
+	skinShots := 0
+	for _, ev := range evs {
+		if ev == nil {
+			continue
+		}
+		if ev.Cues.SkinCloseUp || ev.Cues.HasBlood {
+			return true
+		}
+		if ev.Cues.HasSkin {
+			skinShots++
+		}
+	}
+	return skinShots*2 > len(evs)
+}
+
+func allGroupsSpatial(scene *vidmodel.Scene) bool {
+	for _, g := range scene.Groups {
+		if g.Kind == vidmodel.GroupTemporal {
+			return false
+		}
+	}
+	return true
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

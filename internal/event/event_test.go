@@ -1,0 +1,197 @@
+package event
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"classminer/internal/audio"
+	"classminer/internal/shotdet"
+	"classminer/internal/structure"
+	"classminer/internal/synth"
+	"classminer/internal/vidmodel"
+)
+
+var (
+	clfOnce sync.Once
+	clf     *audio.SpeechClassifier
+	clfErr  error
+)
+
+func miner(t testing.TB) *Miner {
+	t.Helper()
+	clfOnce.Do(func() {
+		speech, non := synth.TrainingClips(8000, audio.ClipSeconds, 30, 202)
+		clf, clfErr = audio.TrainSpeechClassifier(speech, non, 8000, 11)
+	})
+	if clfErr != nil {
+		t.Fatal(clfErr)
+	}
+	m, err := NewMiner(clf, Config{SampleRate: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// benchmarkScenes builds ground-truth-aligned scenes (the §6.1 evaluation
+// protocol: manually selected scenes that distinctly belong to one
+// category), with shots and groups coming from the real detectors.
+func benchmarkScenes(t testing.TB, script *synth.Script, seed int64) (*vidmodel.Video, []*vidmodel.Scene, []*vidmodel.Shot) {
+	t.Helper()
+	v, err := synth.Generate(synth.DefaultConfig(), script, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shots, _, err := shotdet.Detect(v, shotdet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scenes []*vidmodel.Scene
+	for i, ts := range v.Truth.Scenes {
+		var members []*vidmodel.Shot
+		for _, s := range shots {
+			mid := (s.Start + s.End) / 2
+			if mid >= ts.StartFrame && mid < ts.EndFrame {
+				members = append(members, s)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		gres, err := structure.DetectGroups(members, structure.GroupConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		scenes = append(scenes, &vidmodel.Scene{Index: i, Groups: gres.Groups})
+	}
+	return v, scenes, shots
+}
+
+func mineKind(t testing.TB, spec synth.SceneSpec, seed int64) vidmodel.EventKind {
+	t.Helper()
+	script := &synth.Script{Name: "one", Scenes: []synth.SceneSpec{spec}}
+	v, scenes, shots := benchmarkScenes(t, script, seed)
+	if len(scenes) != 1 {
+		t.Fatalf("expected 1 scene, got %d", len(scenes))
+	}
+	m := miner(t)
+	ev := m.GatherEvidence(v, shots)
+	return m.MineScene(scenes[0], ev)
+}
+
+func TestMinePresentationScene(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	got := mineKind(t, synth.PresentationScene(rng, 0, 1, 2), 31)
+	if got != vidmodel.EventPresentation {
+		t.Fatalf("presentation mined as %v", got)
+	}
+}
+
+func TestMineDialogScene(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	got := mineKind(t, synth.DialogScene(rng, 1, 1, 1, 4), 32)
+	if got != vidmodel.EventDialog {
+		t.Fatalf("dialog mined as %v", got)
+	}
+}
+
+func TestMineClinicalScene(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	got := mineKind(t, synth.OperationScene(rng, 2, 1, synth.ContentSurgical, 0), 33)
+	if got != vidmodel.EventClinicalOperation {
+		t.Fatalf("clinical operation mined as %v", got)
+	}
+}
+
+func TestMineEstablishingIsUnknown(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	got := mineKind(t, synth.EstablishingScene(rng, 0, 1), 34)
+	if got != vidmodel.EventUnknown {
+		t.Fatalf("establishing mined as %v, want unknown", got)
+	}
+}
+
+func TestMineAllLabelsScenes(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	script := &synth.Script{Name: "mix", Scenes: []synth.SceneSpec{
+		synth.PresentationScene(rng, 0, 1, 1),
+		synth.OperationScene(rng, 2, 2, synth.ContentSkinExam, 0),
+		synth.DialogScene(rng, 3, 3, 2, 5),
+	}}
+	v, scenes, shots := benchmarkScenes(t, script, 35)
+	m := miner(t)
+	out := m.MineAll(v, scenes, shots)
+	if len(out) != len(scenes) {
+		t.Fatalf("labels = %d, want %d", len(out), len(scenes))
+	}
+	correct := 0
+	for _, sc := range scenes {
+		if sc.Event == v.Truth.Scenes[sc.Index].Event {
+			correct++
+		}
+	}
+	if correct < 2 {
+		t.Fatalf("only %d/%d scenes mined correctly", correct, len(scenes))
+	}
+}
+
+func TestMinerAccuracyOverCategories(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus-scale mining in -short mode")
+	}
+	m := miner(t)
+	kinds := map[vidmodel.EventKind]*struct{ total, right int }{
+		vidmodel.EventPresentation:      {},
+		vidmodel.EventDialog:            {},
+		vidmodel.EventClinicalOperation: {},
+	}
+	for trial := 0; trial < 4; trial++ {
+		rng := rand.New(rand.NewSource(int64(40 + trial)))
+		script := &synth.Script{Name: "acc", Scenes: []synth.SceneSpec{
+			synth.PresentationScene(rng, trial%5, 1, 1+trial%6),
+			synth.DialogScene(rng, (trial+1)%5, 2, 1+trial%6, 1+(trial+2)%6),
+			synth.OperationScene(rng, (trial+2)%5, 3, synth.ContentSurgical, 0),
+		}}
+		v, scenes, shots := benchmarkScenes(t, script, int64(40+trial))
+		ev := m.GatherEvidence(v, shots)
+		for _, sc := range scenes {
+			truth := v.Truth.Scenes[sc.Index].Event
+			stat, tracked := kinds[truth]
+			if !tracked {
+				continue
+			}
+			stat.total++
+			if m.MineScene(sc, ev) == truth {
+				stat.right++
+			}
+		}
+	}
+	for kind, stat := range kinds {
+		if stat.total == 0 {
+			t.Fatalf("no %v scenes generated", kind)
+		}
+		acc := float64(stat.right) / float64(stat.total)
+		if acc < 0.5 {
+			t.Fatalf("%v accuracy = %.2f (%d/%d), want >= 0.5", kind, acc, stat.right, stat.total)
+		}
+	}
+}
+
+func TestNewMinerValidation(t *testing.T) {
+	if _, err := NewMiner(nil, Config{SampleRate: 8000}); err == nil {
+		t.Fatal("want error on nil classifier")
+	}
+	m := miner(t)
+	_ = m
+	if _, err := NewMiner(clf, Config{}); err == nil {
+		t.Fatal("want error on zero sample rate")
+	}
+}
+
+func TestMineSceneEmpty(t *testing.T) {
+	m := miner(t)
+	if got := m.MineScene(&vidmodel.Scene{}, nil); got != vidmodel.EventUnknown {
+		t.Fatalf("empty scene = %v, want unknown", got)
+	}
+}

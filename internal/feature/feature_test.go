@@ -1,0 +1,243 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"classminer/internal/vidmodel"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func solidFrame(w, h int, r, g, b byte) *vidmodel.Frame {
+	f := vidmodel.NewFrame(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			f.Set(x, y, r, g, b)
+		}
+	}
+	return f
+}
+
+func noiseFrame(w, h int, rng *rand.Rand) *vidmodel.Frame {
+	f := vidmodel.NewFrame(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			f.Set(x, y, byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)))
+		}
+	}
+	return f
+}
+
+func TestRGBToHSVKnownColors(t *testing.T) {
+	cases := []struct {
+		r, g, b byte
+		h, s, v float64
+	}{
+		{255, 0, 0, 0, 1, 1},     // red
+		{0, 255, 0, 120, 1, 1},   // green
+		{0, 0, 255, 240, 1, 1},   // blue
+		{255, 255, 255, 0, 0, 1}, // white
+		{0, 0, 0, 0, 0, 0},       // black
+	}
+	for _, c := range cases {
+		h, s, v := RGBToHSV(c.r, c.g, c.b)
+		if !almostEqual(h, c.h, 1e-9) || !almostEqual(s, c.s, 1e-9) || !almostEqual(v, c.v, 1e-9) {
+			t.Fatalf("RGBToHSV(%d,%d,%d) = (%v,%v,%v), want (%v,%v,%v)",
+				c.r, c.g, c.b, h, s, v, c.h, c.s, c.v)
+		}
+	}
+}
+
+func TestRGBToHSVHueRange(t *testing.T) {
+	f := func(r, g, b byte) bool {
+		h, s, v := RGBToHSV(r, g, b)
+		return h >= 0 && h < 360 && s >= 0 && s <= 1 && v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHSVHistogramNormalised(t *testing.T) {
+	f := noiseFrame(16, 12, rand.New(rand.NewSource(1)))
+	h := HSVHistogram(f, 16, 12)
+	if len(h) != ColorBins {
+		t.Fatalf("len = %d, want %d", len(h), ColorBins)
+	}
+	var sum float64
+	for _, v := range h {
+		if v < 0 {
+			t.Fatal("negative bin")
+		}
+		sum += v
+	}
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Fatalf("histogram sums to %v, want 1", sum)
+	}
+}
+
+func TestHSVHistogramSolidSingleBin(t *testing.T) {
+	f := solidFrame(8, 8, 255, 0, 0)
+	h := HSVHistogram(f, 8, 8)
+	nonzero := 0
+	for _, v := range h {
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("solid frame occupies %d bins, want 1", nonzero)
+	}
+}
+
+func TestHSVHistogramEmptyFrame(t *testing.T) {
+	h := HSVHistogram(vidmodel.NewFrame(0, 0), 0, 0)
+	for _, v := range h {
+		if v != 0 {
+			t.Fatal("empty frame histogram must be all zero")
+		}
+	}
+}
+
+func TestHistIntersectionIdentity(t *testing.T) {
+	f := noiseFrame(16, 12, rand.New(rand.NewSource(2)))
+	h := HSVHistogram(f, 16, 12)
+	if got := HistIntersection(h, h); !almostEqual(got, 1, 1e-9) {
+		t.Fatalf("self intersection = %v, want 1", got)
+	}
+}
+
+func TestHistIntersectionDisjoint(t *testing.T) {
+	a := HSVHistogram(solidFrame(8, 8, 255, 0, 0), 8, 8)
+	b := HSVHistogram(solidFrame(8, 8, 0, 0, 255), 8, 8)
+	if got := HistIntersection(a, b); got != 0 {
+		t.Fatalf("disjoint intersection = %v, want 0", got)
+	}
+}
+
+func TestTamuraCoarsenessNormalised(t *testing.T) {
+	f := noiseFrame(48, 36, rand.New(rand.NewSource(3)))
+	tx := TamuraCoarseness(f, 48, 36)
+	if len(tx) != TextureDims {
+		t.Fatalf("len = %d, want %d", len(tx), TextureDims)
+	}
+	var sum float64
+	for _, v := range tx {
+		if v < 0 {
+			t.Fatal("negative texture component")
+		}
+		sum += v
+	}
+	if !almostEqual(sum, 1, 1e-9) {
+		t.Fatalf("texture sums to %v, want 1", sum)
+	}
+}
+
+func TestTamuraDistinguishesFineFromCoarse(t *testing.T) {
+	// Fine checkerboard vs. large blocks must land on different scales.
+	fine := vidmodel.NewFrame(48, 36)
+	coarse := vidmodel.NewFrame(48, 36)
+	for y := 0; y < 36; y++ {
+		for x := 0; x < 48; x++ {
+			if (x+y)%2 == 0 {
+				fine.Set(x, y, 255, 255, 255)
+			}
+			if ((x/12)+(y/12))%2 == 0 {
+				coarse.Set(x, y, 255, 255, 255)
+			}
+		}
+	}
+	tf := TamuraCoarseness(fine, 48, 36)
+	tc := TamuraCoarseness(coarse, 48, 36)
+	if d := TextureDistanceTerm(tf, tc); d > 0.8 {
+		t.Fatalf("fine vs coarse similarity term = %v, want visibly different (< 0.8)", d)
+	}
+	if d := TextureDistanceTerm(tf, tf); !almostEqual(d, 1, 1e-9) {
+		t.Fatalf("self texture term = %v, want 1", d)
+	}
+}
+
+func TestStSimBoundsAndIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	fa := noiseFrame(32, 24, rng)
+	fb := noiseFrame(32, 24, rng)
+	ca, ta := HSVHistogram(fa, 32, 24), TamuraCoarseness(fa, 32, 24)
+	cb, tb := HSVHistogram(fb, 32, 24), TamuraCoarseness(fb, 32, 24)
+	self := StSim(ca, ta, ca, ta)
+	if !almostEqual(self, 1, 1e-9) {
+		t.Fatalf("self StSim = %v, want 1", self)
+	}
+	cross := StSim(ca, ta, cb, tb)
+	if cross < 0 || cross > 1 {
+		t.Fatalf("StSim = %v out of [0,1]", cross)
+	}
+	if cross >= self {
+		t.Fatalf("cross StSim %v should be below self-similarity", cross)
+	}
+}
+
+func TestStSimSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	fa, fb := noiseFrame(16, 16, rng), noiseFrame(16, 16, rng)
+	ca, ta := HSVHistogram(fa, 16, 16), TamuraCoarseness(fa, 16, 16)
+	cb, tb := HSVHistogram(fb, 16, 16), TamuraCoarseness(fb, 16, 16)
+	if !almostEqual(StSim(ca, ta, cb, tb), StSim(cb, tb, ca, ta), 1e-12) {
+		t.Fatal("StSim must be symmetric")
+	}
+}
+
+func TestFrameDiffRange(t *testing.T) {
+	a := HSVHistogram(solidFrame(8, 8, 200, 10, 10), 8, 8)
+	b := HSVHistogram(solidFrame(8, 8, 10, 10, 200), 8, 8)
+	if d := FrameDiff(a, a); d != 0 {
+		t.Fatalf("self diff = %v, want 0", d)
+	}
+	if d := FrameDiff(a, b); !almostEqual(d, 1, 1e-9) {
+		t.Fatalf("disjoint diff = %v, want 1", d)
+	}
+}
+
+// Property: histogram intersection is symmetric and bounded by 1.
+func TestHistIntersectionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		a := HSVHistogram(noiseFrame(8, 8, rng), 8, 8)
+		b := HSVHistogram(noiseFrame(8, 8, rng), 8, 8)
+		ab, ba := HistIntersection(a, b), HistIntersection(b, a)
+		if !almostEqual(ab, ba, 1e-12) || ab < 0 || ab > 1 {
+			t.Fatalf("intersection property violated: %v vs %v", ab, ba)
+		}
+	}
+}
+
+// Property: StSim never exceeds the self-similarity of either operand.
+func TestStSimPropertyUpperBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		fa, fb := noiseFrame(12, 12, rng), noiseFrame(12, 12, rng)
+		ca, ta := HSVHistogram(fa, 12, 12), TamuraCoarseness(fa, 12, 12)
+		cb, tb := HSVHistogram(fb, 12, 12), TamuraCoarseness(fb, 12, 12)
+		if StSim(ca, ta, cb, tb) > 1+1e-12 {
+			t.Fatal("StSim exceeded 1")
+		}
+	}
+}
+
+func BenchmarkHSVHistogram(b *testing.B) {
+	f := noiseFrame(48, 36, rand.New(rand.NewSource(8)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HSVHistogram(f, 48, 36)
+	}
+}
+
+func BenchmarkTamuraCoarseness(b *testing.B) {
+	f := noiseFrame(48, 36, rand.New(rand.NewSource(9)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TamuraCoarseness(f, 48, 36)
+	}
+}

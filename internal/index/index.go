@@ -1,0 +1,415 @@
+// Package index implements the cluster-based hierarchical database index of
+// §2 and §6.2: a tree derived from the concept hierarchy whose non-leaf
+// nodes summarise their content with multiple centers (because high-level
+// concepts mix several visual components, a single Gaussian cannot model
+// them) and whose leaf nodes index shots with a hash table. Search descends
+// only into relevant units and computes distances in reduced feature
+// subspaces, reproducing the Tc ≪ Te total-cost comparison of Eqs. (24)–(25).
+package index
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"classminer/internal/mat"
+	"classminer/internal/vidmodel"
+)
+
+// Entry is one indexed shot.
+type Entry struct {
+	VideoName string
+	Shot      *vidmodel.Shot
+	// Path locates the entry in the concept hierarchy, e.g.
+	// ["medical education", "medicine", "medicine/dialog"].
+	Path []string
+}
+
+// Options tunes index construction. Zero values become defaults.
+type Options struct {
+	Centers    int // centers per non-leaf node (default 3)
+	SelectDims int // variance-selected coordinates (default 48)
+	PCADims    int // principal components per node (default 16)
+	HashDims   int // leading reduced dims hashed at leaves (default 4)
+	Beam       int // children explored per level during search (default 2)
+	Seed       int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Centers <= 0 {
+		o.Centers = 3
+	}
+	if o.SelectDims <= 0 {
+		o.SelectDims = 48
+	}
+	if o.PCADims <= 0 {
+		o.PCADims = 16
+	}
+	if o.HashDims <= 0 {
+		o.HashDims = 4
+	}
+	if o.HashDims > maxHashDims {
+		o.HashDims = maxHashDims
+	}
+	if o.Beam <= 0 {
+		o.Beam = 2
+	}
+	return o
+}
+
+// Stats counts the work a search performed, the quantities of Eqs. (24)
+// and (25): distance computations per level, the float dimensions touched,
+// and the size of the ranked candidate set.
+type Stats struct {
+	DistanceOps int // total distance computations
+	FloatOps    int // Σ dims over all distance computations
+	Candidates  int // entries ranked (the M_o log M_o term)
+}
+
+// Result is one ranked search hit.
+type Result struct {
+	Entry *Entry
+	Dist  float64
+}
+
+// Index is the built hierarchical index.
+type Index struct {
+	opts Options
+	root *node
+	all  []*Entry
+}
+
+type node struct {
+	name     string
+	children map[string]*node
+	order    []string // deterministic child order
+	// Non-leaf routing state.
+	reducer *Reducer
+	centers map[string][][]float64 // child name -> centers in this node's space
+	// Leaf state.
+	entries []*Entry
+	hash    map[cellKey][]*Entry
+	cell    []float64            // per-dim hash cell width
+	proj    map[*Entry][]float64 // entry features pre-projected at build
+}
+
+// cellKey is a fixed-width quantised signature of the leading reduced
+// dimensions; unused dimensions stay zero.
+type cellKey [maxHashDims]int32
+
+const maxHashDims = 4
+
+// Build constructs the index from entries. Every entry must carry a
+// non-empty path.
+func Build(entries []*Entry, opts Options) (*Index, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("index: no entries")
+	}
+	opts = opts.withDefaults()
+	ix := &Index{opts: opts, root: newNode("database"), all: entries}
+	for i, e := range entries {
+		if len(e.Path) == 0 {
+			return nil, fmt.Errorf("index: entry %d has empty path", i)
+		}
+		cur := ix.root
+		for _, name := range e.Path {
+			next, ok := cur.children[name]
+			if !ok {
+				next = newNode(name)
+				cur.children[name] = next
+				cur.order = append(cur.order, name)
+			}
+			cur = next
+		}
+		cur.entries = append(cur.entries, e)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+	if err := ix.fit(ix.root, rng); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+func newNode(name string) *node {
+	return &node{name: name, children: map[string]*node{}}
+}
+
+// gather returns all entries under the node.
+func (n *node) gather() []*Entry {
+	if len(n.children) == 0 {
+		return n.entries
+	}
+	var out []*Entry
+	for _, name := range n.order {
+		out = append(out, n.children[name].gather()...)
+	}
+	return out
+}
+
+// fit trains each node: reducers and per-child centers at non-leaf nodes,
+// the hash table at leaves.
+func (ix *Index) fit(n *node, rng *rand.Rand) error {
+	sub := n.gather()
+	if len(sub) == 0 {
+		return fmt.Errorf("index: node %q has no entries", n.name)
+	}
+	features := make([][]float64, len(sub))
+	for i, e := range sub {
+		features[i] = e.Shot.Feature()
+	}
+	reducer, err := FitReducer(features, ix.opts.SelectDims, ix.opts.PCADims)
+	if err != nil {
+		return fmt.Errorf("index: node %q: %w", n.name, err)
+	}
+	n.reducer = reducer
+
+	if len(n.children) == 0 {
+		return ix.fitLeaf(n, features)
+	}
+	n.centers = map[string][][]float64{}
+	for _, name := range n.order {
+		child := n.children[name]
+		childEntries := child.gather()
+		pts := make([][]float64, len(childEntries))
+		for i, e := range childEntries {
+			pts[i] = reducer.Project(e.Shot.Feature())
+		}
+		k := ix.opts.Centers
+		if k > len(pts) {
+			k = len(pts)
+		}
+		km, err := mat.KMeans(pts, k, rng, 40)
+		if err != nil {
+			return fmt.Errorf("index: centers for %q: %w", name, err)
+		}
+		n.centers[name] = km.Centers
+		if err := ix.fit(child, rng); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fitLeaf builds the leaf hash table over quantised reduced signatures.
+func (ix *Index) fitLeaf(n *node, features [][]float64) error {
+	dims := n.reducer.Dim()
+	h := ix.opts.HashDims
+	if h > dims {
+		h = dims
+	}
+	// Cell width per hashed dim: half the standard deviation keeps bucket
+	// occupancy moderate without scattering near-identical shots.
+	proj := make([][]float64, len(features))
+	for i, f := range features {
+		proj[i] = n.reducer.Project(f)
+	}
+	n.cell = make([]float64, h)
+	for d := 0; d < h; d++ {
+		var mean, ss float64
+		for _, p := range proj {
+			mean += p[d]
+		}
+		mean /= float64(len(proj))
+		for _, p := range proj {
+			dv := p[d] - mean
+			ss += dv * dv
+		}
+		sd := math.Sqrt(ss / float64(len(proj)))
+		if sd < 1e-9 {
+			sd = 1e-9
+		}
+		n.cell[d] = sd / 2
+	}
+	n.hash = map[cellKey][]*Entry{}
+	n.proj = make(map[*Entry][]float64, len(n.entries))
+	for i, e := range n.entries {
+		key := n.hashKey(proj[i])
+		n.hash[key] = append(n.hash[key], e)
+		n.proj[e] = proj[i]
+	}
+	return nil
+}
+
+func (n *node) hashKey(p []float64) cellKey {
+	var k cellKey
+	for d := range n.cell {
+		k[d] = int32(math.Floor(p[d] / n.cell[d]))
+	}
+	return k
+}
+
+// Search finds the k nearest indexed shots to the query feature (a 266-dim
+// Shot.Feature vector), descending only through the most relevant database
+// units. It returns the ranked results and the §6.2 cost statistics.
+func (ix *Index) Search(query []float64, k int) ([]Result, Stats) {
+	var stats Stats
+	if k <= 0 {
+		k = 1
+	}
+	leaves := ix.descend(ix.root, query, &stats)
+	var candidates []*Entry
+	seen := map[*Entry]bool{}
+	for _, leaf := range leaves {
+		for _, e := range ix.leafCandidates(leaf, query, k, &stats) {
+			if !seen[e] {
+				seen[e] = true
+				candidates = append(candidates, e)
+			}
+		}
+	}
+	if len(candidates) == 0 {
+		for _, leaf := range leaves {
+			for _, e := range leaf.entries {
+				if !seen[e] {
+					seen[e] = true
+					candidates = append(candidates, e)
+				}
+			}
+		}
+	}
+	results := rankReduced(leaves[0], candidates, query, &stats)
+	if len(results) > k {
+		results = results[:k]
+	}
+	return results, stats
+}
+
+// descend routes the query down the tree, keeping the Beam best children
+// at each level by distance to their centers.
+func (ix *Index) descend(n *node, query []float64, stats *Stats) []*node {
+	if len(n.children) == 0 {
+		return []*node{n}
+	}
+	p := n.reducer.Project(query)
+	type scored struct {
+		child *node
+		dist  float64
+	}
+	var sc []scored
+	for _, name := range n.order {
+		best := math.Inf(1)
+		for _, c := range n.centers[name] {
+			stats.DistanceOps++
+			stats.FloatOps += len(c)
+			if d := mat.SqDist(p, c); d < best {
+				best = d
+			}
+		}
+		sc = append(sc, scored{child: n.children[name], dist: best})
+	}
+	sort.Slice(sc, func(a, b int) bool { return sc[a].dist < sc[b].dist })
+	beam := ix.opts.Beam
+	if beam > len(sc) {
+		beam = len(sc)
+	}
+	var out []*node
+	for i := 0; i < beam; i++ {
+		out = append(out, ix.descend(sc[i].child, query, stats)...)
+	}
+	return out
+}
+
+// leafCandidates looks up the query's hash cell and expands outward until
+// at least k candidates are found (or the ring is exhausted).
+func (ix *Index) leafCandidates(leaf *node, query []float64, k int, stats *Stats) []*Entry {
+	p := leaf.reducer.Project(query)
+	h := len(leaf.cell)
+	base := make([]int, h)
+	for d := 0; d < h; d++ {
+		base[d] = int(math.Floor(p[d] / leaf.cell[d]))
+	}
+	var out []*Entry
+	for radius := 0; radius <= 2; radius++ {
+		out = out[:0]
+		ix.collectRing(leaf, base, radius, &out)
+		if len(out) >= k {
+			return out
+		}
+	}
+	if len(out) < k {
+		// Hash exhausted: fall back to the whole leaf (still only the
+		// relevant scene node, never the full database).
+		return leaf.entries
+	}
+	return out
+}
+
+// collectRing gathers entries from all cells within Chebyshev radius r.
+func (ix *Index) collectRing(leaf *node, base []int, r int, out *[]*Entry) {
+	h := len(base)
+	var key cellKey
+	var walk func(d int)
+	walk = func(d int) {
+		if d == h {
+			*out = append(*out, leaf.hash[key]...)
+			return
+		}
+		for o := -r; o <= r; o++ {
+			key[d] = int32(base[d] + o)
+			walk(d + 1)
+		}
+	}
+	walk(0)
+}
+
+// rankReduced ranks candidates by distance in the leaf's reduced space (the
+// To term: even ranking uses discriminating features only). Candidate
+// projections were precomputed at build time; candidates routed in from a
+// sibling leaf (beam > 1) are projected on demand.
+func rankReduced(leaf *node, candidates []*Entry, query []float64, stats *Stats) []Result {
+	p := leaf.reducer.Project(query)
+	results := make([]Result, 0, len(candidates))
+	for _, e := range candidates {
+		stats.DistanceOps++
+		stats.FloatOps += leaf.reducer.Dim()
+		ep, ok := leaf.proj[e]
+		if !ok {
+			ep = leaf.reducer.Project(e.Shot.Feature())
+		}
+		results = append(results, Result{Entry: e, Dist: mat.Dist(p, ep)})
+	}
+	stats.Candidates = len(results)
+	sort.Slice(results, func(a, b int) bool { return results[a].Dist < results[b].Dist })
+	return results
+}
+
+// FlatSearch is the unindexed baseline of Eq. (24): every entry in the
+// database is compared with the query in the full feature space and the
+// whole result set is ranked.
+func FlatSearch(entries []*Entry, query []float64, k int) ([]Result, Stats) {
+	var stats Stats
+	results := make([]Result, 0, len(entries))
+	for _, e := range entries {
+		f := e.Shot.Feature()
+		stats.DistanceOps++
+		stats.FloatOps += len(f)
+		results = append(results, Result{Entry: e, Dist: mat.Dist(query, f)})
+	}
+	stats.Candidates = len(results)
+	sort.Slice(results, func(a, b int) bool { return results[a].Dist < results[b].Dist })
+	if k > 0 && len(results) > k {
+		results = results[:k]
+	}
+	return results, stats
+}
+
+// Size returns the number of indexed entries.
+func (ix *Index) Size() int { return len(ix.all) }
+
+// Leaves returns the leaf concept names, in deterministic order.
+func (ix *Index) Leaves() []string {
+	var out []string
+	var walk func(n *node)
+	walk = func(n *node) {
+		if len(n.children) == 0 {
+			out = append(out, n.name)
+			return
+		}
+		for _, name := range n.order {
+			walk(n.children[name])
+		}
+	}
+	walk(ix.root)
+	return out
+}

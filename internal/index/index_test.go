@@ -1,0 +1,255 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"classminer/internal/feature"
+	"classminer/internal/vidmodel"
+)
+
+// corpus builds entries spread over a 3-cluster concept tree. Shots within
+// a leaf share a colour-bin neighbourhood so the hierarchy is learnable.
+func corpus(n int, seed int64) []*Entry {
+	rng := rand.New(rand.NewSource(seed))
+	paths := [][]string{
+		{"medical education", "medicine", "medicine/presentation"},
+		{"medical education", "medicine", "medicine/dialog"},
+		{"medical education", "medicine", "medicine/clinical operation"},
+		{"medical education", "nursing", "nursing/dialog"},
+		{"health care", "health care/general"},
+		{"medical report", "medical report/general"},
+	}
+	var out []*Entry
+	for i := 0; i < n; i++ {
+		pi := i % len(paths)
+		c := make([]float64, feature.ColorBins)
+		// Leaf-specific base bins plus noise mass.
+		base := (pi*37 + 11) % (feature.ColorBins - 8)
+		for j := 0; j < 6; j++ {
+			c[base+j] += 0.12 + rng.Float64()*0.04
+		}
+		c[rng.Intn(feature.ColorBins)] += 0.05
+		normalise(c)
+		tx := make([]float64, feature.TextureDims)
+		tx[pi%feature.TextureDims] = 0.8
+		tx[(pi+3)%feature.TextureDims] = 0.2
+		out = append(out, &Entry{
+			VideoName: fmt.Sprintf("video-%d", pi),
+			Shot: &vidmodel.Shot{
+				Index: i, Start: i * 30, End: (i + 1) * 30,
+				Color: c, Texture: tx,
+			},
+			Path: paths[pi],
+		})
+	}
+	return out
+}
+
+func normalise(v []float64) {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	for i := range v {
+		v[i] /= s
+	}
+}
+
+func TestBuildAndSelfQuery(t *testing.T) {
+	entries := corpus(240, 1)
+	ix, err := Build(entries, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Size() != 240 {
+		t.Fatalf("size = %d", ix.Size())
+	}
+	// Self-queries must return the queried shot first (distance 0).
+	hits := 0
+	for i := 0; i < 40; i++ {
+		e := entries[i*6%len(entries)]
+		res, _ := ix.Search(e.Shot.Feature(), 1)
+		if len(res) > 0 && res[0].Entry == e {
+			hits++
+		}
+	}
+	if hits < 36 {
+		t.Fatalf("self-query top-1 hits = %d/40, want >= 36", hits)
+	}
+}
+
+func TestSearchAgreesWithFlatScan(t *testing.T) {
+	entries := corpus(300, 2)
+	ix, err := Build(entries, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	agree := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		q := entries[rng.Intn(len(entries))].Shot.Feature()
+		// Perturb the query a little (a near-duplicate shot).
+		qq := append([]float64(nil), q...)
+		for j := 0; j < 8; j++ {
+			qq[rng.Intn(len(qq))] += rng.Float64() * 0.01
+		}
+		flat, _ := FlatSearch(entries, qq, 1)
+		hier, _ := ix.Search(qq, 5)
+		for _, h := range hier {
+			if h.Entry == flat[0].Entry {
+				agree++
+				break
+			}
+		}
+	}
+	if agree < trials*8/10 {
+		t.Fatalf("hierarchical search agreed with flat scan %d/%d times", agree, trials)
+	}
+}
+
+func TestSearchCostBelowFlat(t *testing.T) {
+	entries := corpus(600, 4)
+	ix, err := Build(entries, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := entries[123].Shot.Feature()
+	_, flatStats := FlatSearch(entries, q, 10)
+	_, hierStats := ix.Search(q, 10)
+	if hierStats.FloatOps*3 > flatStats.FloatOps {
+		t.Fatalf("hierarchical cost %d float-ops not well below flat %d",
+			hierStats.FloatOps, flatStats.FloatOps)
+	}
+	if hierStats.Candidates >= flatStats.Candidates {
+		t.Fatalf("ranked candidates %d should be below flat %d",
+			hierStats.Candidates, flatStats.Candidates)
+	}
+}
+
+func TestSearchScalesSublinearly(t *testing.T) {
+	small := corpus(120, 5)
+	large := corpus(960, 5)
+	ixS, err := Build(small, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixL, err := Build(large, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := small[7].Shot.Feature()
+	_, sStats := ixS.Search(q, 5)
+	_, lStats := ixL.Search(q, 5)
+	// An 8x database must cost far less than 8x the float ops.
+	if lStats.FloatOps > sStats.FloatOps*4 {
+		t.Fatalf("scaling: %d -> %d float ops for 8x data", sStats.FloatOps, lStats.FloatOps)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(nil, Options{}); err == nil {
+		t.Fatal("want error on empty entries")
+	}
+	bad := corpus(6, 6)
+	bad[3].Path = nil
+	if _, err := Build(bad, Options{}); err == nil {
+		t.Fatal("want error on empty path")
+	}
+}
+
+func TestLeaves(t *testing.T) {
+	ix, err := Build(corpus(60, 7), Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaves := ix.Leaves()
+	if len(leaves) != 6 {
+		t.Fatalf("leaves = %v", leaves)
+	}
+}
+
+func TestFlatSearchRanking(t *testing.T) {
+	entries := corpus(60, 8)
+	q := entries[10].Shot.Feature()
+	res, stats := FlatSearch(entries, q, 3)
+	if len(res) != 3 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if res[0].Entry != entries[10] || res[0].Dist > 1e-9 {
+		t.Fatal("self query must rank itself first at distance 0")
+	}
+	if res[0].Dist > res[1].Dist || res[1].Dist > res[2].Dist {
+		t.Fatal("results must be sorted by distance")
+	}
+	if stats.DistanceOps != 60 {
+		t.Fatalf("flat scan distance ops = %d, want 60", stats.DistanceOps)
+	}
+	if stats.FloatOps != 60*(feature.ColorBins+feature.TextureDims) {
+		t.Fatalf("flat scan float ops = %d", stats.FloatOps)
+	}
+}
+
+func TestReducerRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := make([][]float64, 50)
+	for i := range x {
+		row := make([]float64, 20)
+		// Two informative dims, rest near-constant noise.
+		row[3] = rng.NormFloat64() * 5
+		row[11] = rng.NormFloat64() * 3
+		for j := range row {
+			row[j] += rng.NormFloat64() * 0.01
+		}
+		x[i] = row
+	}
+	r, err := FitReducer(x, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dim() != 2 {
+		t.Fatalf("Dim = %d", r.Dim())
+	}
+	// The informative dims must be among the selected ones.
+	found := 0
+	for _, s := range r.selected {
+		if s == 3 || s == 11 {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("variance selection missed informative dims: %v", r.selected)
+	}
+}
+
+func TestReducerErrors(t *testing.T) {
+	if _, err := FitReducer(nil, 4, 2); err == nil {
+		t.Fatal("want error on empty fit")
+	}
+}
+
+func BenchmarkHierarchicalSearch(b *testing.B) {
+	entries := corpus(1200, 10)
+	ix, err := Build(entries, Options{Seed: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := entries[17].Shot.Feature()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search(q, 10)
+	}
+}
+
+func BenchmarkFlatSearch(b *testing.B) {
+	entries := corpus(1200, 11)
+	q := entries[17].Shot.Feature()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FlatSearch(entries, q, 10)
+	}
+}

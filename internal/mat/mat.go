@@ -1,0 +1,340 @@
+// Package mat provides the small dense linear-algebra kernels the rest of
+// the system depends on: vector statistics, covariance estimation, Cholesky
+// factorisation with log-determinants (used by the BIC speaker-change test),
+// Jacobi eigendecomposition and PCA (used by the hierarchical index for
+// per-node dimension reduction), and a tiny k-means implementation (used by
+// multi-center index nodes).
+//
+// Everything operates on plain float64 slices so callers never pay for an
+// abstraction they do not need. Matrices are dense, row-major [][]float64.
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimension is returned when operands have incompatible shapes.
+var ErrDimension = errors.New("mat: dimension mismatch")
+
+// ErrNotPositiveDefinite is returned by Cholesky when the matrix is not
+// (numerically) symmetric positive definite even after regularisation.
+var ErrNotPositiveDefinite = errors.New("mat: matrix not positive definite")
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(ErrDimension)
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of v.
+func Norm(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// Dist returns the Euclidean distance between a and b.
+func Dist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(ErrDimension)
+	}
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// SqDist returns the squared Euclidean distance between a and b.
+func SqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(ErrDimension)
+	}
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Add returns a+b as a new slice.
+func Add(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(ErrDimension)
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns a-b as a new slice.
+func Sub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic(ErrDimension)
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Scale returns s*v as a new slice.
+func Scale(v []float64, s float64) []float64 {
+	out := make([]float64, len(v))
+	for i := range v {
+		out[i] = v[i] * s
+	}
+	return out
+}
+
+// Mean returns the component-wise mean of the rows in x.
+// It returns nil when x is empty.
+func Mean(x [][]float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	d := len(x[0])
+	m := make([]float64, d)
+	for _, row := range x {
+		if len(row) != d {
+			panic(ErrDimension)
+		}
+		for j, v := range row {
+			m[j] += v
+		}
+	}
+	inv := 1 / float64(len(x))
+	for j := range m {
+		m[j] *= inv
+	}
+	return m
+}
+
+// Covariance returns the (biased, 1/n) sample covariance matrix of the rows
+// of x. The biased estimator matches the maximum-likelihood form used by the
+// BIC likelihood-ratio test of the paper (§4.2, Eq. 18). It returns nil when
+// x is empty.
+func Covariance(x [][]float64) [][]float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	d := len(x[0])
+	mean := Mean(x)
+	cov := NewMatrix(d, d)
+	for _, row := range x {
+		for i := 0; i < d; i++ {
+			di := row[i] - mean[i]
+			for j := i; j < d; j++ {
+				cov[i][j] += di * (row[j] - mean[j])
+			}
+		}
+	}
+	inv := 1 / float64(len(x))
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			cov[i][j] *= inv
+			cov[j][i] = cov[i][j]
+		}
+	}
+	return cov
+}
+
+// NewMatrix allocates an r×c zero matrix backed by a single allocation.
+func NewMatrix(r, c int) [][]float64 {
+	backing := make([]float64, r*c)
+	m := make([][]float64, r)
+	for i := range m {
+		m[i], backing = backing[:c:c], backing[c:]
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) [][]float64 {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m[i][i] = 1
+	}
+	return m
+}
+
+// Clone returns a deep copy of m.
+func Clone(m [][]float64) [][]float64 {
+	out := NewMatrix(len(m), len(m[0]))
+	for i := range m {
+		copy(out[i], m[i])
+	}
+	return out
+}
+
+// MulVec returns m·v.
+func MulVec(m [][]float64, v []float64) []float64 {
+	out := make([]float64, len(m))
+	for i, row := range m {
+		out[i] = Dot(row, v)
+	}
+	return out
+}
+
+// Cholesky computes the lower-triangular factor L with m = L·Lᵀ.
+// A small diagonal ridge is added progressively when m is near-singular,
+// which is the standard regularisation for covariance matrices estimated
+// from short audio clips.
+func Cholesky(m [][]float64) ([][]float64, error) {
+	n := len(m)
+	for ridge := 0.0; ridge <= 1e-3; ridge = nextRidge(ridge) {
+		l, ok := tryCholesky(m, n, ridge)
+		if ok {
+			return l, nil
+		}
+	}
+	return nil, ErrNotPositiveDefinite
+}
+
+func nextRidge(r float64) float64 {
+	if r == 0 {
+		return 1e-9
+	}
+	return r * 10
+}
+
+func tryCholesky(m [][]float64, n int, ridge float64) ([][]float64, bool) {
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := m[i][j]
+			if i == j {
+				sum += ridge
+			}
+			for k := 0; k < j; k++ {
+				sum -= l[i][k] * l[j][k]
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, false
+				}
+				l[i][j] = math.Sqrt(sum)
+			} else {
+				l[i][j] = sum / l[j][j]
+			}
+		}
+	}
+	return l, true
+}
+
+// LogDet returns the natural log of the determinant of a symmetric
+// positive-definite matrix via its Cholesky factor.
+func LogDet(m [][]float64) (float64, error) {
+	l, err := Cholesky(m)
+	if err != nil {
+		return 0, err
+	}
+	var ld float64
+	for i := range l {
+		ld += math.Log(l[i][i])
+	}
+	return 2 * ld, nil
+}
+
+// Jacobi computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi rotation method. It returns the eigenvalues and a matrix
+// whose COLUMNS are the corresponding eigenvectors, sorted by decreasing
+// eigenvalue.
+func Jacobi(m [][]float64) (values []float64, vectors [][]float64, err error) {
+	n := len(m)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("mat: Jacobi on empty matrix")
+	}
+	a := Clone(m)
+	v := Identity(n)
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(a)
+		if off < 1e-12 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				rotate(a, v, p, q)
+			}
+		}
+	}
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = a[i][i]
+	}
+	// Sort eigenpairs by decreasing eigenvalue (selection sort keeps the
+	// column bookkeeping simple for the small matrices we handle).
+	for i := 0; i < n; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if values[j] > values[best] {
+				best = j
+			}
+		}
+		if best != i {
+			values[i], values[best] = values[best], values[i]
+			for r := 0; r < n; r++ {
+				v[r][i], v[r][best] = v[r][best], v[r][i]
+			}
+		}
+	}
+	return values, v, nil
+}
+
+func offDiagNorm(a [][]float64) float64 {
+	var s float64
+	for i := range a {
+		for j := range a[i] {
+			if i != j {
+				s += a[i][j] * a[i][j]
+			}
+		}
+	}
+	return s
+}
+
+func rotate(a, v [][]float64, p, q int) {
+	if a[p][q] == 0 {
+		return
+	}
+	n := len(a)
+	theta := (a[q][q] - a[p][p]) / (2 * a[p][q])
+	t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+	if theta < 0 {
+		t = -t
+	}
+	c := 1 / math.Sqrt(t*t+1)
+	s := t * c
+	tau := s / (1 + c)
+
+	app, aqq, apq := a[p][p], a[q][q], a[p][q]
+	a[p][p] = app - t*apq
+	a[q][q] = aqq + t*apq
+	a[p][q] = 0
+	a[q][p] = 0
+	for i := 0; i < n; i++ {
+		if i == p || i == q {
+			continue
+		}
+		aip, aiq := a[i][p], a[i][q]
+		a[i][p] = aip - s*(aiq+tau*aip)
+		a[p][i] = a[i][p]
+		a[i][q] = aiq + s*(aip-tau*aiq)
+		a[q][i] = a[i][q]
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v[i][p], v[i][q]
+		v[i][p] = vip - s*(viq+tau*vip)
+		v[i][q] = viq + s*(vip-tau*viq)
+	}
+}

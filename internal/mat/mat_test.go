@@ -1,0 +1,305 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotDimensionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestNormAndDist(t *testing.T) {
+	if got := Norm([]float64{3, 4}); got != 5 {
+		t.Fatalf("Norm = %v, want 5", got)
+	}
+	if got := Dist([]float64{1, 1}, []float64{4, 5}); got != 5 {
+		t.Fatalf("Dist = %v, want 5", got)
+	}
+	if got := SqDist([]float64{1, 1}, []float64{4, 5}); got != 25 {
+		t.Fatalf("SqDist = %v, want 25", got)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 5}
+	if got := Add(a, b); got[0] != 4 || got[1] != 7 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := Sub(b, a); got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := Scale(a, 3); got[0] != 3 || got[1] != 6 {
+		t.Fatalf("Scale = %v", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != nil {
+		t.Fatal("Mean(nil) should be nil")
+	}
+}
+
+func TestMean(t *testing.T) {
+	m := Mean([][]float64{{1, 2}, {3, 4}})
+	if m[0] != 2 || m[1] != 3 {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestCovarianceKnown(t *testing.T) {
+	// Points on a line y=x have equal variances and covariance.
+	x := [][]float64{{0, 0}, {1, 1}, {2, 2}, {3, 3}}
+	c := Covariance(x)
+	if !almostEqual(c[0][0], 1.25, 1e-12) || !almostEqual(c[0][1], 1.25, 1e-12) {
+		t.Fatalf("Covariance = %v", c)
+	}
+}
+
+func TestCovarianceSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([][]float64, 20)
+	for i := range x {
+		x[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	c := Covariance(x)
+	for i := range c {
+		for j := range c {
+			if c[i][j] != c[j][i] {
+				t.Fatalf("covariance not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCholeskyReconstruction(t *testing.T) {
+	m := [][]float64{{4, 2, 0.6}, {2, 5, 1.2}, {0.6, 1.2, 3}}
+	l, err := Cholesky(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m {
+		for j := range m {
+			var s float64
+			for k := 0; k <= i && k <= j; k++ {
+				s += l[i][k] * l[j][k]
+			}
+			if !almostEqual(s, m[i][j], 1e-9) {
+				t.Fatalf("LL^T[%d][%d] = %v, want %v", i, j, s, m[i][j])
+			}
+		}
+	}
+}
+
+func TestLogDetKnown(t *testing.T) {
+	// Diagonal matrix: logdet = sum(log(d_i)).
+	m := [][]float64{{2, 0}, {0, 8}}
+	ld, err := LogDet(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(ld, math.Log(16), 1e-9) {
+		t.Fatalf("LogDet = %v, want %v", ld, math.Log(16))
+	}
+}
+
+func TestLogDetSingularRegularised(t *testing.T) {
+	// A rank-deficient covariance should still produce a finite value via
+	// the progressive ridge (short audio clips hit this in practice).
+	m := [][]float64{{1, 1}, {1, 1}}
+	ld, err := LogDet(m)
+	if err != nil {
+		t.Fatalf("expected ridge to rescue singular matrix: %v", err)
+	}
+	if math.IsInf(ld, 0) || math.IsNaN(ld) {
+		t.Fatalf("LogDet = %v, want finite", ld)
+	}
+}
+
+func TestJacobiKnownEigenvalues(t *testing.T) {
+	m := [][]float64{{2, 1}, {1, 2}}
+	values, vectors, err := Jacobi(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(values[0], 3, 1e-9) || !almostEqual(values[1], 1, 1e-9) {
+		t.Fatalf("eigenvalues = %v, want [3 1]", values)
+	}
+	// First eigenvector should be parallel to (1,1)/sqrt2.
+	v := []float64{vectors[0][0], vectors[1][0]}
+	if !almostEqual(math.Abs(v[0]), math.Abs(v[1]), 1e-9) {
+		t.Fatalf("eigenvector = %v, want parallel to (1,1)", v)
+	}
+}
+
+func TestJacobiEmpty(t *testing.T) {
+	if _, _, err := Jacobi(nil); err == nil {
+		t.Fatal("expected error on empty matrix")
+	}
+}
+
+func TestPCAProjectsOntoDominantAxis(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Data stretched along (1,1): first component must capture most variance.
+	x := make([][]float64, 200)
+	for i := range x {
+		t0 := rng.NormFloat64() * 10
+		x[i] = []float64{t0 + rng.NormFloat64()*0.1, t0 + rng.NormFloat64()*0.1}
+	}
+	p, err := FitPCA(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Explained[0] < 0.99 {
+		t.Fatalf("explained = %v, want > 0.99", p.Explained[0])
+	}
+	if p.Dim() != 1 {
+		t.Fatalf("Dim = %d, want 1", p.Dim())
+	}
+}
+
+func TestPCAErrors(t *testing.T) {
+	if _, err := FitPCA(nil, 1); err == nil {
+		t.Fatal("expected error on empty data")
+	}
+	if _, err := FitPCA([][]float64{{1, 2}}, 0); err == nil {
+		t.Fatal("expected error on k < 1")
+	}
+}
+
+func TestPCAClampK(t *testing.T) {
+	p, err := FitPCA([][]float64{{1, 2}, {3, 4}, {5, 7}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Dim() != 2 {
+		t.Fatalf("Dim = %d, want clamped to 2", p.Dim())
+	}
+}
+
+func TestKMeansSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var x [][]float64
+	for i := 0; i < 50; i++ {
+		x = append(x, []float64{rng.NormFloat64() * 0.2, rng.NormFloat64() * 0.2})
+		x = append(x, []float64{10 + rng.NormFloat64()*0.2, 10 + rng.NormFloat64()*0.2})
+	}
+	res, err := KMeans(x, 2, rng, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All even indices (cluster near origin) must share one label, odd the other.
+	want := res.Assignment[0]
+	for i := 0; i < len(x); i += 2 {
+		if res.Assignment[i] != want {
+			t.Fatalf("point %d assigned %d, want %d", i, res.Assignment[i], want)
+		}
+	}
+	for i := 1; i < len(x); i += 2 {
+		if res.Assignment[i] == want {
+			t.Fatalf("point %d should be in the other cluster", i)
+		}
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	if _, err := KMeans(nil, 2, nil, 10); err == nil {
+		t.Fatal("expected error on empty data")
+	}
+	if _, err := KMeans([][]float64{{1}}, 0, nil, 10); err == nil {
+		t.Fatal("expected error on k < 1")
+	}
+}
+
+func TestKMeansKLargerThanN(t *testing.T) {
+	x := [][]float64{{0}, {5}}
+	res, err := KMeans(x, 10, rand.New(rand.NewSource(1)), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Centers) != 2 {
+		t.Fatalf("centers = %d, want clamped to 2", len(res.Centers))
+	}
+	if res.Inertia > 1e-9 {
+		t.Fatalf("inertia = %v, want ~0 when every point is a center", res.Inertia)
+	}
+}
+
+// Property: distance is symmetric and satisfies identity of indiscernibles.
+func TestDistPropertySymmetry(t *testing.T) {
+	f := func(a, b [4]float64) bool {
+		av, bv := make([]float64, 4), make([]float64, 4)
+		for i := range av {
+			// Constrain magnitudes so squaring cannot overflow.
+			av[i] = math.Mod(a[i], 1e6)
+			bv[i] = math.Mod(b[i], 1e6)
+			if math.IsNaN(av[i]) {
+				av[i] = 0
+			}
+			if math.IsNaN(bv[i]) {
+				bv[i] = 0
+			}
+		}
+		return almostEqual(Dist(av, bv), Dist(bv, av), 1e-12) && Dist(av, av) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: covariance diagonal is non-negative.
+func TestCovariancePropertyDiagonal(t *testing.T) {
+	f := func(raw [6][3]float64) bool {
+		x := make([][]float64, len(raw))
+		for i := range raw {
+			x[i] = raw[i][:]
+		}
+		c := Covariance(x)
+		for i := range c {
+			if c[i][i] < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PCA projection of the mean is (numerically) the origin.
+func TestPCAPropertyMeanMapsToOrigin(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		x := make([][]float64, 30)
+		for i := range x {
+			x[i] = []float64{rng.NormFloat64(), rng.NormFloat64() * 3, rng.NormFloat64() * 0.5}
+		}
+		p, err := FitPCA(x, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proj := p.Project(Mean(x))
+		for _, v := range proj {
+			if math.Abs(v) > 1e-9 {
+				t.Fatalf("Project(mean) = %v, want origin", proj)
+			}
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package mediaio converts the internal media model to and from standard
+// interchange formats: PNG for frames (storyboards, skim keyframes) and
+// WAV (PCM16) for audio tracks. It is the bridge between the synthetic
+// substrate and external tools.
+package mediaio
+
+import (
+	"encoding/binary"
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+
+	"classminer/internal/vidmodel"
+)
+
+// WritePNG encodes a frame as PNG.
+func WritePNG(w io.Writer, f *vidmodel.Frame) error {
+	if f == nil || f.W <= 0 || f.H <= 0 {
+		return fmt.Errorf("mediaio: empty frame")
+	}
+	img := image.NewRGBA(image.Rect(0, 0, f.W, f.H))
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			r, g, b := f.At(x, y)
+			img.SetRGBA(x, y, color.RGBA{R: r, G: g, B: b, A: 255})
+		}
+	}
+	return png.Encode(w, img)
+}
+
+// ReadPNG decodes a PNG into a frame.
+func ReadPNG(r io.Reader) (*vidmodel.Frame, error) {
+	img, err := png.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("mediaio: %w", err)
+	}
+	bounds := img.Bounds()
+	f := vidmodel.NewFrame(bounds.Dx(), bounds.Dy())
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			r16, g16, b16, _ := img.At(bounds.Min.X+x, bounds.Min.Y+y).RGBA()
+			f.Set(x, y, byte(r16>>8), byte(g16>>8), byte(b16>>8))
+		}
+	}
+	return f, nil
+}
+
+// WriteWAV encodes a mono audio track as 16-bit PCM WAV.
+func WriteWAV(w io.Writer, a *vidmodel.AudioTrack) error {
+	if a == nil || a.SampleRate <= 0 {
+		return fmt.Errorf("mediaio: invalid audio track")
+	}
+	dataLen := uint32(len(a.Samples) * 2)
+	var header []byte
+	header = append(header, "RIFF"...)
+	header = binary.LittleEndian.AppendUint32(header, 36+dataLen)
+	header = append(header, "WAVE"...)
+	header = append(header, "fmt "...)
+	header = binary.LittleEndian.AppendUint32(header, 16)
+	header = binary.LittleEndian.AppendUint16(header, 1) // PCM
+	header = binary.LittleEndian.AppendUint16(header, 1) // mono
+	header = binary.LittleEndian.AppendUint32(header, uint32(a.SampleRate))
+	header = binary.LittleEndian.AppendUint32(header, uint32(a.SampleRate*2)) // byte rate
+	header = binary.LittleEndian.AppendUint16(header, 2)                      // block align
+	header = binary.LittleEndian.AppendUint16(header, 16)                     // bits
+	header = append(header, "data"...)
+	header = binary.LittleEndian.AppendUint32(header, dataLen)
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	buf := make([]byte, 2*len(a.Samples))
+	for i, s := range a.Samples {
+		v := s
+		if v > 1 {
+			v = 1
+		}
+		if v < -1 {
+			v = -1
+		}
+		binary.LittleEndian.PutUint16(buf[i*2:], uint16(int16(v*32767)))
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// ReadWAV decodes a mono 16-bit PCM WAV into an audio track.
+func ReadWAV(r io.Reader) (*vidmodel.AudioTrack, error) {
+	header := make([]byte, 44)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, fmt.Errorf("mediaio: short WAV header: %w", err)
+	}
+	if string(header[0:4]) != "RIFF" || string(header[8:12]) != "WAVE" {
+		return nil, fmt.Errorf("mediaio: not a WAV stream")
+	}
+	if binary.LittleEndian.Uint16(header[20:]) != 1 {
+		return nil, fmt.Errorf("mediaio: only PCM WAV supported")
+	}
+	if binary.LittleEndian.Uint16(header[22:]) != 1 {
+		return nil, fmt.Errorf("mediaio: only mono WAV supported")
+	}
+	if bits := binary.LittleEndian.Uint16(header[34:]); bits != 16 {
+		return nil, fmt.Errorf("mediaio: only 16-bit WAV supported, got %d", bits)
+	}
+	track := &vidmodel.AudioTrack{SampleRate: int(binary.LittleEndian.Uint32(header[24:]))}
+	dataLen := binary.LittleEndian.Uint32(header[40:])
+	buf, err := io.ReadAll(io.LimitReader(r, int64(dataLen)))
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i+1 < len(buf); i += 2 {
+		track.Samples = append(track.Samples, float64(int16(binary.LittleEndian.Uint16(buf[i:])))/32767)
+	}
+	return track, nil
+}

@@ -1,0 +1,100 @@
+package mediaio
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"classminer/internal/vidmodel"
+)
+
+func TestPNGRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := vidmodel.NewFrame(17, 11)
+	for i := range f.Pix {
+		f.Pix[i] = byte(rng.Intn(256))
+	}
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPNG(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.W != f.W || back.H != f.H {
+		t.Fatalf("geometry %dx%d, want %dx%d", back.W, back.H, f.W, f.H)
+	}
+	for i := range f.Pix {
+		if f.Pix[i] != back.Pix[i] {
+			t.Fatalf("pixel byte %d differs", i)
+		}
+	}
+}
+
+func TestPNGErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, nil); err == nil {
+		t.Fatal("want nil-frame error")
+	}
+	if _, err := ReadPNG(strings.NewReader("not a png")); err == nil {
+		t.Fatal("want decode error")
+	}
+}
+
+func TestWAVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := &vidmodel.AudioTrack{SampleRate: 8000}
+	for i := 0; i < 4000; i++ {
+		a.Samples = append(a.Samples, math.Sin(float64(i)*0.05)*0.8+rng.Float64()*0.01)
+	}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SampleRate != 8000 {
+		t.Fatalf("sample rate = %d", back.SampleRate)
+	}
+	if len(back.Samples) != len(a.Samples) {
+		t.Fatalf("samples = %d, want %d", len(back.Samples), len(a.Samples))
+	}
+	for i := range a.Samples {
+		if math.Abs(a.Samples[i]-back.Samples[i]) > 1.0/32000 {
+			t.Fatalf("sample %d: %v vs %v", i, a.Samples[i], back.Samples[i])
+		}
+	}
+}
+
+func TestWAVClipsOutOfRange(t *testing.T) {
+	a := &vidmodel.AudioTrack{SampleRate: 8000, Samples: []float64{2.5, -3.0}}
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadWAV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Samples[0] < 0.99 || back.Samples[1] > -0.99 {
+		t.Fatalf("clipping failed: %v", back.Samples)
+	}
+}
+
+func TestWAVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWAV(&buf, nil); err == nil {
+		t.Fatal("want nil-track error")
+	}
+	if _, err := ReadWAV(strings.NewReader("short")); err == nil {
+		t.Fatal("want short-header error")
+	}
+	if _, err := ReadWAV(strings.NewReader(strings.Repeat("x", 44))); err == nil {
+		t.Fatal("want bad-magic error")
+	}
+}

@@ -1,0 +1,132 @@
+package mpeg
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrCorrupt is returned when a bitstream ends mid-symbol or contains an
+// impossible code.
+var ErrCorrupt = errors.New("mpeg: corrupt bitstream")
+
+// bitWriter packs bits MSB-first into a byte slice.
+type bitWriter struct {
+	buf  []byte
+	cur  byte
+	nCur uint // bits currently in cur
+}
+
+func (w *bitWriter) writeBit(b uint) {
+	w.cur = w.cur<<1 | byte(b&1)
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// writeBits writes the low n bits of v, MSB first.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.writeBit(uint(v >> uint(i)))
+	}
+}
+
+// writeUE writes v using unsigned Exp-Golomb coding (as in H.26x headers).
+func (w *bitWriter) writeUE(v uint64) {
+	code := v + 1
+	n := uint(0)
+	for t := code; t > 1; t >>= 1 {
+		n++
+	}
+	w.writeBits(0, n)
+	w.writeBits(code, n+1)
+}
+
+// writeSE writes v using signed Exp-Golomb coding.
+func (w *bitWriter) writeSE(v int64) {
+	var u uint64
+	if v > 0 {
+		u = uint64(2*v - 1)
+	} else {
+		u = uint64(-2 * v)
+	}
+	w.writeUE(u)
+}
+
+// flush pads the final partial byte with zeros and returns the stream.
+func (w *bitWriter) flush() []byte {
+	if w.nCur > 0 {
+		w.cur <<= 8 - w.nCur
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+// bitReader consumes bits MSB-first from a byte slice.
+type bitReader struct {
+	buf []byte
+	pos int  // byte position
+	bit uint // bits consumed of buf[pos]
+}
+
+func (r *bitReader) readBit() (uint, error) {
+	if r.pos >= len(r.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := uint(r.buf[r.pos]>>(7-r.bit)) & 1
+	r.bit++
+	if r.bit == 8 {
+		r.bit = 0
+		r.pos++
+	}
+	return b, nil
+}
+
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// readUE reads an unsigned Exp-Golomb code.
+func (r *bitReader) readUE() (uint64, error) {
+	n := uint(0)
+	for {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		n++
+		if n > 62 {
+			return 0, ErrCorrupt
+		}
+	}
+	rest, err := r.readBits(n)
+	if err != nil {
+		return 0, err
+	}
+	return (1<<n | rest) - 1, nil
+}
+
+// readSE reads a signed Exp-Golomb code.
+func (r *bitReader) readSE() (int64, error) {
+	u, err := r.readUE()
+	if err != nil {
+		return 0, err
+	}
+	if u%2 == 1 {
+		return int64(u/2) + 1, nil
+	}
+	return -int64(u / 2), nil
+}

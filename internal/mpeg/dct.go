@@ -1,0 +1,110 @@
+package mpeg
+
+import "math"
+
+// blockSize is the transform block edge, as in MPEG-1/JPEG.
+const blockSize = 8
+
+// cosTable caches cos((2x+1)uπ/16) for the 8-point DCT.
+var cosTable [blockSize][blockSize]float64
+
+func init() {
+	for x := 0; x < blockSize; x++ {
+		for u := 0; u < blockSize; u++ {
+			cosTable[x][u] = math.Cos(float64(2*x+1) * float64(u) * math.Pi / 16)
+		}
+	}
+}
+
+func alpha(u int) float64 {
+	if u == 0 {
+		return 1 / math.Sqrt2
+	}
+	return 1
+}
+
+// forwardDCT computes the 8×8 type-II DCT of the spatial block (row-major).
+func forwardDCT(block *[blockSize * blockSize]float64) [blockSize * blockSize]float64 {
+	var out [blockSize * blockSize]float64
+	for v := 0; v < blockSize; v++ {
+		for u := 0; u < blockSize; u++ {
+			var s float64
+			for y := 0; y < blockSize; y++ {
+				for x := 0; x < blockSize; x++ {
+					s += block[y*blockSize+x] * cosTable[x][u] * cosTable[y][v]
+				}
+			}
+			out[v*blockSize+u] = 0.25 * alpha(u) * alpha(v) * s
+		}
+	}
+	return out
+}
+
+// inverseDCT computes the 8×8 type-III (inverse) DCT.
+func inverseDCT(coef *[blockSize * blockSize]float64) [blockSize * blockSize]float64 {
+	var out [blockSize * blockSize]float64
+	for y := 0; y < blockSize; y++ {
+		for x := 0; x < blockSize; x++ {
+			var s float64
+			for v := 0; v < blockSize; v++ {
+				for u := 0; u < blockSize; u++ {
+					s += alpha(u) * alpha(v) * coef[v*blockSize+u] * cosTable[x][u] * cosTable[y][v]
+				}
+			}
+			out[y*blockSize+x] = 0.25 * s
+		}
+	}
+	return out
+}
+
+// baseQuant is the JPEG/MPEG-style luminance quantisation matrix.
+var baseQuant = [blockSize * blockSize]int{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+// quantMatrix scales the base matrix for a quality setting in [1, 100].
+func quantMatrix(quality int) [blockSize * blockSize]int {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	var scale int
+	if quality < 50 {
+		scale = 5000 / quality
+	} else {
+		scale = 200 - 2*quality
+	}
+	var q [blockSize * blockSize]int
+	for i, b := range baseQuant {
+		v := (b*scale + 50) / 100
+		if v < 1 {
+			v = 1
+		}
+		if v > 255 {
+			v = 255
+		}
+		q[i] = v
+	}
+	return q
+}
+
+// zigzag is the MPEG coefficient scan order.
+var zigzag = [blockSize * blockSize]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}

@@ -1,0 +1,118 @@
+package shotdet
+
+import (
+	"classminer/internal/entropy"
+	"classminer/internal/feature"
+	"classminer/internal/vidmodel"
+)
+
+// Gradual-transition detection. The hard-cut detector of Detect thresholds
+// single-frame differences, which dissolves and fades evade by spreading
+// the change across many small steps. The classic remedy — the
+// twin-comparison technique of Zhang, Kankanhalli & Smoliar (the paper's
+// ref. [12]) — uses a second, lower threshold: when a frame difference
+// exceeds it, an accumulation phase starts, and if the accumulated
+// difference against the phase's start frame eventually exceeds the high
+// (cut) threshold, the span is declared a gradual transition.
+
+// Transition is one detected gradual transition.
+type Transition struct {
+	Start int // first frame of the transition
+	End   int // one-past-last frame (the first frame of the new shot)
+}
+
+// GradualConfig tunes DetectGradual. Zero values become defaults.
+type GradualConfig struct {
+	// LowFactor scales the cut threshold down to the accumulation
+	// trigger Ts (default 0.35, i.e. Ts = 0.35·Tb).
+	LowFactor float64
+	// MaxSpan bounds a transition's length in frames (default 30).
+	MaxSpan int
+	// MinSpan is the shortest accepted transition (default 2 — a span of
+	// a single frame is a hard cut's business).
+	MinSpan int
+}
+
+func (c GradualConfig) withDefaults() GradualConfig {
+	if c.LowFactor <= 0 || c.LowFactor >= 1 {
+		c.LowFactor = 0.35
+	}
+	if c.MaxSpan <= 0 {
+		c.MaxSpan = 30
+	}
+	if c.MinSpan <= 0 {
+		c.MinSpan = 2
+	}
+	return c
+}
+
+// DetectGradual finds gradual transitions in a frame-histogram sequence
+// (see Histograms) with the twin-comparison technique. It is intended to
+// run alongside Detect: hard cuts found by Detect can be excluded by the
+// caller via the returned spans' overlap.
+func DetectGradual(hists [][]float64, cfg GradualConfig) []Transition {
+	cfg = cfg.withDefaults()
+	if len(hists) < cfg.MinSpan+1 {
+		return nil
+	}
+	// Consecutive differences. Tb is the cut-level acceptance threshold
+	// (what a completed transition must amount to); Ts is the accumulation
+	// trigger, sitting just above the within-shot noise floor.
+	diffs := make([]float64, len(hists)-1)
+	for i := 1; i < len(hists); i++ {
+		diffs[i-1] = feature.FrameDiff(hists[i-1], hists[i])
+	}
+	tb := entropy.ThresholdOr(diffs, 0.35)
+	if tb < 0.35 {
+		tb = 0.35
+	}
+	med, _ := entropy.Percentile(diffs, 0.5)
+	ts := med * 4
+	if ts < 0.02 {
+		ts = 0.02
+	}
+	if min := tb * cfg.LowFactor * 0.5; ts > min && min > 0.02 {
+		ts = min // never let a noisy floor eat the whole trigger band
+	}
+
+	var out []Transition
+	for t := 0; t < len(diffs); t++ {
+		if diffs[t] < ts || diffs[t] >= tb {
+			continue // quiet, or a hard cut handled elsewhere
+		}
+		// Accumulation phase: compare each subsequent frame against the
+		// phase start until the accumulated change crosses Tb or the
+		// activity dies down.
+		start := t
+		quiet := 0
+		for u := t + 1; u < len(hists) && u-start <= cfg.MaxSpan; u++ {
+			acc := feature.FrameDiff(hists[start], hists[u])
+			if acc >= tb {
+				if u-start >= cfg.MinSpan {
+					out = append(out, Transition{Start: start, End: u + 1})
+				}
+				t = u // resume scanning after the transition
+				break
+			}
+			if u-1 < len(diffs) && diffs[u-1] < ts {
+				quiet++
+				if quiet >= 2 {
+					break // the drift stopped without becoming a transition
+				}
+			} else {
+				quiet = 0
+			}
+		}
+	}
+	return out
+}
+
+// Histograms computes the per-frame HSV histograms Detect uses internally,
+// for callers that also want DetectGradual without recomputation.
+func Histograms(v *vidmodel.Video) [][]float64 {
+	hists := make([][]float64, len(v.Frames))
+	for i, f := range v.Frames {
+		hists[i] = feature.HSVHistogram(f, f.W, f.H)
+	}
+	return hists
+}

@@ -1,0 +1,97 @@
+package shotdet
+
+import (
+	"math/rand"
+	"testing"
+
+	"classminer/internal/vidmodel"
+)
+
+// dissolveVideo renders two static settings joined by a linear blend of
+// blendLen frames starting at frame cut.
+func dissolveVideo(total, cut, blendLen int, seed int64) *vidmodel.Video {
+	rng := rand.New(rand.NewSource(seed))
+	v := &vidmodel.Video{Name: "dissolve", FPS: 10}
+	colA := [3]byte{60, 90, 140}
+	colB := [3]byte{190, 120, 50}
+	for t := 0; t < total; t++ {
+		f := vidmodel.NewFrame(32, 24)
+		var mix float64
+		switch {
+		case t < cut:
+			mix = 0
+		case t >= cut+blendLen:
+			mix = 1
+		default:
+			mix = float64(t-cut) / float64(blendLen)
+		}
+		for y := 0; y < 24; y++ {
+			for x := 0; x < 32; x++ {
+				// Textured settings: spatial gradients keep the histogram
+				// spread over many bins so the dissolve evolves smoothly
+				// (a flat colour would hop quantisation bins discretely).
+				tex := float64((x*5 + y*3) % 48)
+				r := byte((float64(colA[0])+tex)*(1-mix) + (float64(colB[0])+tex*0.5)*mix + float64(rng.Intn(3)))
+				g := byte((float64(colA[1])+tex*0.7)*(1-mix) + (float64(colB[1])+tex)*mix + float64(rng.Intn(3)))
+				b := byte((float64(colA[2])+tex*0.4)*(1-mix) + (float64(colB[2])+tex*0.8)*mix + float64(rng.Intn(3)))
+				f.Set(x, y, r, g, b)
+			}
+		}
+		v.Frames = append(v.Frames, f)
+	}
+	return v
+}
+
+func TestDetectGradualFindsDissolve(t *testing.T) {
+	v := dissolveVideo(120, 50, 12, 1)
+	hists := Histograms(v)
+	trans := DetectGradual(hists, GradualConfig{})
+	if len(trans) != 1 {
+		t.Fatalf("found %d transitions, want 1: %+v", len(trans), trans)
+	}
+	tr := trans[0]
+	if tr.Start < 45 || tr.Start > 55 {
+		t.Fatalf("transition starts at %d, want near 50", tr.Start)
+	}
+	// Histogram accumulation saturates before the blend finishes, so the
+	// detected span may end early; it must still be a multi-frame span
+	// inside the blend.
+	if tr.End <= tr.Start+2 || tr.End > 70 {
+		t.Fatalf("transition span [%d,%d) implausible", tr.Start, tr.End)
+	}
+}
+
+func TestDetectGradualHardCutVideoMostlyQuiet(t *testing.T) {
+	// A hard cut (blend of length 1) is not a gradual transition.
+	v := dissolveVideo(100, 40, 1, 2)
+	hists := Histograms(v)
+	trans := DetectGradual(hists, GradualConfig{})
+	if len(trans) != 0 {
+		t.Fatalf("hard cut flagged as gradual: %+v", trans)
+	}
+}
+
+func TestDetectGradualStaticVideoQuiet(t *testing.T) {
+	v := dissolveVideo(80, 1000, 1, 3) // never reaches the cut: static
+	hists := Histograms(v)
+	if trans := DetectGradual(hists, GradualConfig{}); len(trans) != 0 {
+		t.Fatalf("static video flagged: %+v", trans)
+	}
+}
+
+func TestDetectGradualTooShort(t *testing.T) {
+	if DetectGradual(nil, GradualConfig{}) != nil {
+		t.Fatal("nil input must return nil")
+	}
+}
+
+func TestDetectGradualOnSynthDissolve(t *testing.T) {
+	// The generator's Dissolve option must produce spans the detector sees.
+	v := genVideo(t, 9)
+	hists := Histograms(v)
+	// genVideo has hard cuts only; check no gradual storm.
+	trans := DetectGradual(hists, GradualConfig{})
+	if len(trans) > 4 {
+		t.Fatalf("too many spurious transitions on hard-cut video: %d", len(trans))
+	}
+}

@@ -1,0 +1,315 @@
+// Package store persists mined video metadata. A video database keeps the
+// *mining results* — shot descriptors, the content hierarchy, mined events —
+// not the media itself, so a saved library can be reloaded and queried
+// without re-running the pipeline (or without the original frames at all).
+//
+// The format is JSON with explicit index-based references: Go pointers
+// (shots shared between groups, scenes and skim levels) are flattened to
+// indices on save and re-linked on load, preserving identity.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"classminer/internal/core"
+	"classminer/internal/skim"
+	"classminer/internal/vidmodel"
+)
+
+// FormatVersion guards against decoding incompatible files.
+const FormatVersion = 1
+
+// savedShot mirrors vidmodel.Shot.
+type savedShot struct {
+	Index    int       `json:"index"`
+	Start    int       `json:"start"`
+	End      int       `json:"end"`
+	RepFrame int       `json:"repFrame"`
+	Color    []float64 `json:"color"`
+	Texture  []float64 `json:"texture"`
+}
+
+// savedGroup references shots by their position in the shot table.
+type savedGroup struct {
+	Index    int   `json:"index"`
+	Kind     int   `json:"kind"`
+	Shots    []int `json:"shots"`
+	RepShots []int `json:"repShots"`
+}
+
+// savedScene references groups by position in the group table.
+type savedScene struct {
+	Index    int   `json:"index"`
+	Groups   []int `json:"groups"`
+	RepGroup int   `json:"repGroup"` // -1 when absent
+	Event    int   `json:"event"`
+}
+
+type savedCluster struct {
+	Index    int   `json:"index"`
+	Scenes   []int `json:"scenes"` // positions in the scene table
+	RepGroup int   `json:"repGroup"`
+}
+
+// SavedResult is the on-disk form of one mined video.
+type SavedResult struct {
+	Version     int            `json:"version"`
+	VideoName   string         `json:"videoName"`
+	FPS         float64        `json:"fps"`
+	TotalFrames int            `json:"totalFrames"`
+	Shots       []savedShot    `json:"shots"`
+	Groups      []savedGroup   `json:"groups"`
+	Scenes      []savedScene   `json:"scenes"`
+	Discarded   []savedScene   `json:"discarded"`
+	Clusters    []savedCluster `json:"clusters"`
+	Events      map[int]int    `json:"events"` // scene index -> event kind
+}
+
+// EncodeResult converts a mined result to its persistent form. Raw media
+// (frames, audio) is intentionally not persisted.
+func EncodeResult(r *core.Result) (*SavedResult, error) {
+	if r == nil || r.Video == nil {
+		return nil, fmt.Errorf("store: nil result")
+	}
+	out := &SavedResult{
+		Version:     FormatVersion,
+		VideoName:   r.Video.Name,
+		FPS:         r.Video.FPS,
+		TotalFrames: len(r.Video.Frames),
+	}
+	if out.TotalFrames == 0 && r.Skim != nil {
+		out.TotalFrames = r.Skim.TotalFrames
+	}
+	shotPos := map[*vidmodel.Shot]int{}
+	for i, s := range r.Shots {
+		shotPos[s] = i
+		out.Shots = append(out.Shots, savedShot{
+			Index: s.Index, Start: s.Start, End: s.End, RepFrame: s.RepFrame,
+			Color: s.Color, Texture: s.Texture,
+		})
+	}
+	groupPos := map[*vidmodel.Group]int{}
+	encodeGroup := func(g *vidmodel.Group) (savedGroup, error) {
+		sg := savedGroup{Index: g.Index, Kind: int(g.Kind)}
+		for _, s := range g.Shots {
+			p, ok := shotPos[s]
+			if !ok {
+				return sg, fmt.Errorf("store: group %d references unknown shot %d", g.Index, s.Index)
+			}
+			sg.Shots = append(sg.Shots, p)
+		}
+		for _, s := range g.RepShots {
+			if p, ok := shotPos[s]; ok {
+				sg.RepShots = append(sg.RepShots, p)
+			}
+		}
+		return sg, nil
+	}
+	for _, g := range r.Groups {
+		groupPos[g] = len(out.Groups)
+		sg, err := encodeGroup(g)
+		if err != nil {
+			return nil, err
+		}
+		out.Groups = append(out.Groups, sg)
+	}
+	encodeScene := func(sc *vidmodel.Scene) (savedScene, error) {
+		ss := savedScene{Index: sc.Index, RepGroup: -1, Event: int(sc.Event)}
+		for _, g := range sc.Groups {
+			p, ok := groupPos[g]
+			if !ok {
+				// Groups of discarded scenes may not be in the main table;
+				// append them now.
+				p = len(out.Groups)
+				groupPos[g] = p
+				sg, err := encodeGroup(g)
+				if err != nil {
+					return ss, err
+				}
+				out.Groups = append(out.Groups, sg)
+			}
+			ss.Groups = append(ss.Groups, p)
+		}
+		if sc.RepGroup != nil {
+			if p, ok := groupPos[sc.RepGroup]; ok {
+				ss.RepGroup = p
+			}
+		}
+		return ss, nil
+	}
+	scenePos := map[*vidmodel.Scene]int{}
+	for _, sc := range r.Scenes {
+		scenePos[sc] = len(out.Scenes)
+		ss, err := encodeScene(sc)
+		if err != nil {
+			return nil, err
+		}
+		out.Scenes = append(out.Scenes, ss)
+	}
+	for _, sc := range r.Discarded {
+		ss, err := encodeScene(sc)
+		if err != nil {
+			return nil, err
+		}
+		out.Discarded = append(out.Discarded, ss)
+	}
+	for _, c := range r.Clusters {
+		sc := savedCluster{Index: c.Index, RepGroup: -1}
+		for _, s := range c.Scenes {
+			if p, ok := scenePos[s]; ok {
+				sc.Scenes = append(sc.Scenes, p)
+			}
+		}
+		if c.RepGroup != nil {
+			if p, ok := groupPos[c.RepGroup]; ok {
+				sc.RepGroup = p
+			}
+		}
+		out.Clusters = append(out.Clusters, sc)
+	}
+	if r.Events != nil {
+		out.Events = map[int]int{}
+		for k, v := range r.Events {
+			out.Events[k] = int(v)
+		}
+	}
+	return out, nil
+}
+
+// DecodeResult reconstructs a mined result (with pointer identity) from its
+// persistent form. The returned Result carries a media-less Video (name,
+// fps, frame count only) and a rebuilt skim.
+func DecodeResult(sr *SavedResult) (*core.Result, error) {
+	if sr == nil {
+		return nil, fmt.Errorf("store: nil saved result")
+	}
+	if sr.Version != FormatVersion {
+		return nil, fmt.Errorf("store: format version %d unsupported (want %d)", sr.Version, FormatVersion)
+	}
+	res := &core.Result{
+		Video: &vidmodel.Video{Name: sr.VideoName, FPS: sr.FPS},
+	}
+	shots := make([]*vidmodel.Shot, len(sr.Shots))
+	for i, s := range sr.Shots {
+		shots[i] = &vidmodel.Shot{
+			Index: s.Index, Start: s.Start, End: s.End, RepFrame: s.RepFrame,
+			Color: s.Color, Texture: s.Texture,
+		}
+	}
+	res.Shots = shots
+	groups := make([]*vidmodel.Group, len(sr.Groups))
+	for i, sg := range sr.Groups {
+		g := &vidmodel.Group{Index: sg.Index, Kind: vidmodel.GroupKind(sg.Kind)}
+		for _, p := range sg.Shots {
+			if p < 0 || p >= len(shots) {
+				return nil, fmt.Errorf("store: group %d has bad shot ref %d", sg.Index, p)
+			}
+			g.Shots = append(g.Shots, shots[p])
+		}
+		for _, p := range sg.RepShots {
+			if p < 0 || p >= len(shots) {
+				return nil, fmt.Errorf("store: group %d has bad rep-shot ref %d", sg.Index, p)
+			}
+			g.RepShots = append(g.RepShots, shots[p])
+		}
+		groups[i] = g
+	}
+	decodeScene := func(ss savedScene) (*vidmodel.Scene, error) {
+		sc := &vidmodel.Scene{Index: ss.Index, Event: vidmodel.EventKind(ss.Event)}
+		for _, p := range ss.Groups {
+			if p < 0 || p >= len(groups) {
+				return nil, fmt.Errorf("store: scene %d has bad group ref %d", ss.Index, p)
+			}
+			sc.Groups = append(sc.Groups, groups[p])
+		}
+		if ss.RepGroup >= 0 && ss.RepGroup < len(groups) {
+			sc.RepGroup = groups[ss.RepGroup]
+		}
+		return sc, nil
+	}
+	// Only groups detected at the top level belong in Result.Groups;
+	// groups appended for discarded scenes stay reachable via the scenes.
+	res.Groups = groups[:min(len(groups), len(sr.Groups))]
+	scenes := make([]*vidmodel.Scene, len(sr.Scenes))
+	for i, ss := range sr.Scenes {
+		sc, err := decodeScene(ss)
+		if err != nil {
+			return nil, err
+		}
+		scenes[i] = sc
+	}
+	res.Scenes = scenes
+	for _, ss := range sr.Discarded {
+		sc, err := decodeScene(ss)
+		if err != nil {
+			return nil, err
+		}
+		res.Discarded = append(res.Discarded, sc)
+	}
+	for _, c := range sr.Clusters {
+		cl := &vidmodel.ClusteredScene{Index: c.Index}
+		for _, p := range c.Scenes {
+			if p < 0 || p >= len(scenes) {
+				return nil, fmt.Errorf("store: cluster %d has bad scene ref %d", c.Index, p)
+			}
+			cl.Scenes = append(cl.Scenes, scenes[p])
+		}
+		if c.RepGroup >= 0 && c.RepGroup < len(groups) {
+			cl.RepGroup = groups[c.RepGroup]
+		}
+		res.Clusters = append(res.Clusters, cl)
+	}
+	if sr.Events != nil {
+		res.Events = map[int]vidmodel.EventKind{}
+		for k, v := range sr.Events {
+			res.Events[k] = vidmodel.EventKind(v)
+		}
+	}
+	sk, err := skim.Build(res.Shots, res.Groups, res.Scenes, res.Clusters, sr.TotalFrames)
+	if err != nil {
+		return nil, fmt.Errorf("store: rebuilding skim: %w", err)
+	}
+	res.Skim = sk
+	return res, nil
+}
+
+// SavedLibraryEntry pairs a mined video with its concept placement.
+type SavedLibraryEntry struct {
+	Subcluster string       `json:"subcluster"`
+	Result     *SavedResult `json:"result"`
+}
+
+// SavedLibrary is the on-disk form of a whole library.
+type SavedLibrary struct {
+	Version int                 `json:"version"`
+	Videos  []SavedLibraryEntry `json:"videos"`
+}
+
+// WriteLibrary serialises entries to w as JSON.
+func WriteLibrary(w io.Writer, entries []SavedLibraryEntry) error {
+	lib := SavedLibrary{Version: FormatVersion, Videos: entries}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&lib)
+}
+
+// ReadLibrary parses a library written by WriteLibrary.
+func ReadLibrary(r io.Reader) (*SavedLibrary, error) {
+	var lib SavedLibrary
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&lib); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if lib.Version != FormatVersion {
+		return nil, fmt.Errorf("store: library version %d unsupported (want %d)", lib.Version, FormatVersion)
+	}
+	return &lib, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,217 @@
+package structure
+
+import (
+	"fmt"
+	"math"
+
+	"classminer/internal/entropy"
+	"classminer/internal/vidmodel"
+)
+
+// GroupConfig tunes group detection (§3.2). Zero values mean "determine
+// automatically with the fast-entropy technique", which is the paper's
+// default behaviour.
+type GroupConfig struct {
+	T1 float64 // separation-factor threshold; 0 = automatic
+	T2 float64 // similarity threshold; 0 = automatic
+	// ClassifyTh is the intra-group clustering threshold Th of §3.2.1;
+	// 0 = reuse T2.
+	ClassifyTh float64
+}
+
+// Fallback thresholds used when the automatic technique has no signal
+// (e.g. a video with almost identical shots).
+const (
+	// fallbackT1 must exceed ~2: at the second shot of an A/B alternation
+	// the separation factor R(i) evaluates to about 2 even though no group
+	// boundary exists (only shot i lacks left context, not i+1), while a
+	// genuine boundary drives R(i) toward the clamp.
+	fallbackT1 = 2.5
+	fallbackT2 = 0.6
+	// ratioClamp bounds the separation factor R(i): when the left-side
+	// correlations vanish the ratio diverges, which carries no more
+	// information than "very large". The clamp is kept low (4) so that the
+	// automatic threshold over the ratio sample lands between the in-group
+	// mode (≈1) and the boundary mode (≈2–4) instead of being dragged
+	// upward by a handful of divergent values.
+	ratioClamp = 4
+)
+
+// GroupResult carries the detected groups and the evidence used.
+type GroupResult struct {
+	Groups  []*vidmodel.Group
+	T1, T2  float64   // thresholds actually applied
+	AdjSims []float64 // StSim between consecutive shots (T2's sample)
+	Ratios  []float64 // separation factors R(i) (T1's sample)
+}
+
+// DetectGroups segments a shot sequence into video groups following the
+// §3.2 procedure: a shot opens a new group either when it correlates with
+// its right context much more than with its left (step 1: R(i) > T1 with
+// CRi above T2−0.1), or when it is isolated from both sides (step 2: CRi
+// and CLi both below T2 — the "anchor person" separator case).
+func DetectGroups(shots []*vidmodel.Shot, cfg GroupConfig) (*GroupResult, error) {
+	if len(shots) == 0 {
+		return nil, fmt.Errorf("structure: no shots")
+	}
+	res := &GroupResult{}
+	n := len(shots)
+
+	// Correlation helpers of Eqs. (2)–(5); out-of-range neighbours
+	// contribute zero similarity.
+	sim := func(i, j int) float64 {
+		if i < 0 || j < 0 || i >= n || j >= n {
+			return 0
+		}
+		return ShotSim(shots[i], shots[j])
+	}
+	cl := func(i int) float64 { return math.Max(sim(i, i-1), sim(i, i-2)) }
+	cr := func(i int) float64 { return math.Max(sim(i, i+1), sim(i, i+2)) }
+	// CL_{i+1} per Eq. (4) compares shot i+1 with the shots LEFT of i.
+	clNext := func(i int) float64 { return math.Max(sim(i+1, i-1), sim(i+1, i-2)) }
+	crNext := func(i int) float64 { return math.Max(sim(i+1, i+2), sim(i+1, i+3)) }
+
+	ratio := func(i int) float64 {
+		num := cr(i) + crNext(i)
+		den := cl(i) + clNext(i)
+		if den <= 1e-12 {
+			return ratioClamp
+		}
+		r := num / den
+		if r > ratioClamp {
+			r = ratioClamp
+		}
+		return r
+	}
+
+	for i := 0; i < n-1; i++ {
+		res.AdjSims = append(res.AdjSims, sim(i, i+1))
+	}
+	for i := 1; i < n; i++ {
+		res.Ratios = append(res.Ratios, ratio(i))
+	}
+
+	t2 := cfg.T2
+	if t2 == 0 {
+		t2 = entropy.ThresholdOr(res.AdjSims, fallbackT2)
+	}
+	t1 := cfg.T1
+	if t1 == 0 {
+		t1 = entropy.ThresholdOr(res.Ratios, fallbackT1)
+		if t1 < 1 {
+			// A separation factor below 1 means "more similar to the
+			// left"; it can never indicate a boundary.
+			t1 = fallbackT1
+		}
+	}
+	res.T1, res.T2 = t1, t2
+
+	boundaries := []int{0}
+	for i := 1; i < n; i++ {
+		isBoundary := false
+		if cr(i) > t2-0.1 {
+			if ratio(i) > t1 {
+				isBoundary = true // step 1: right context wins
+			}
+		} else if cr(i) < t2 && cl(i) < t2 {
+			isBoundary = true // step 2: isolated separator shot
+		}
+		if isBoundary {
+			boundaries = append(boundaries, i)
+		}
+	}
+
+	classifyTh := cfg.ClassifyTh
+	if classifyTh == 0 {
+		// Th follows T2 but with an absolute floor: "similar in visual
+		// perception" (§3.2.1) is a high bar, and on small shot samples
+		// the automatic T2 can land low enough to fuse visibly different
+		// recurring cameras into one cluster, mislabelling temporally
+		// related groups as spatial.
+		classifyTh = t2
+		if classifyTh < 0.7 {
+			classifyTh = 0.7
+		}
+	}
+	for bi, start := range boundaries {
+		end := n
+		if bi+1 < len(boundaries) {
+			end = boundaries[bi+1]
+		}
+		g := &vidmodel.Group{Index: bi, Shots: shots[start:end]}
+		classifyGroup(g, classifyTh)
+		res.Groups = append(res.Groups, g)
+	}
+	return res, nil
+}
+
+// classifyGroup implements §3.2.1: shots are clustered sequentially with
+// threshold th; more than one cluster means the group is temporally related
+// (similar shots recur back and forth), one cluster means spatially related.
+// The group's representative shots (one per cluster, Eq. 7) are filled in.
+func classifyGroup(g *vidmodel.Group, th float64) {
+	clusters := clusterShots(g.Shots, th)
+	if len(clusters) > 1 {
+		g.Kind = vidmodel.GroupTemporal
+	} else {
+		g.Kind = vidmodel.GroupSpatial
+	}
+	g.RepShots = g.RepShots[:0]
+	for _, c := range clusters {
+		g.RepShots = append(g.RepShots, selectRepShot(c))
+	}
+}
+
+// clusterShots is the seeded sequential clustering of §3.2.1: the smallest-
+// numbered unassigned shot seeds a cluster which absorbs every remaining
+// shot more similar than th to the seed.
+func clusterShots(shots []*vidmodel.Shot, th float64) [][]*vidmodel.Shot {
+	remaining := append([]*vidmodel.Shot(nil), shots...)
+	var clusters [][]*vidmodel.Shot
+	for len(remaining) > 0 {
+		seed := remaining[0]
+		cluster := []*vidmodel.Shot{seed}
+		rest := remaining[:0]
+		for _, s := range remaining[1:] {
+			if ShotSim(seed, s) > th {
+				cluster = append(cluster, s)
+			} else {
+				rest = append(rest, s)
+			}
+		}
+		remaining = rest
+		clusters = append(clusters, cluster)
+	}
+	return clusters
+}
+
+// selectRepShot implements Eq. (7) and its small-cluster special cases:
+// three or more shots — the shot with the largest average similarity to the
+// rest; exactly two — the longer one; one — itself.
+func selectRepShot(cluster []*vidmodel.Shot) *vidmodel.Shot {
+	switch len(cluster) {
+	case 0:
+		return nil
+	case 1:
+		return cluster[0]
+	case 2:
+		if cluster[1].Len() > cluster[0].Len() {
+			return cluster[1]
+		}
+		return cluster[0]
+	}
+	best, bestAvg := cluster[0], -1.0
+	for _, s := range cluster {
+		var sum float64
+		for _, o := range cluster {
+			if o != s {
+				sum += ShotSim(s, o)
+			}
+		}
+		avg := sum / float64(len(cluster)-1)
+		if avg > bestAvg {
+			best, bestAvg = s, avg
+		}
+	}
+	return best
+}

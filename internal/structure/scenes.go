@@ -1,0 +1,142 @@
+package structure
+
+import (
+	"fmt"
+
+	"classminer/internal/entropy"
+	"classminer/internal/vidmodel"
+)
+
+// SceneConfig tunes group merging (§3.4).
+type SceneConfig struct {
+	// TG is the merging threshold; 0 means "determine automatically with
+	// the fast-entropy technique over the neighbouring-group similarities".
+	TG float64
+	// MinTG is an absolute floor under the automatic threshold. The
+	// fast-entropy split always bisects its sample, even when every
+	// neighbouring-group pair is in fact dissimilar (each group already a
+	// whole scene); the floor stops that degenerate case from merging
+	// everything. 0 means DefaultMinTG; negative disables the floor.
+	MinTG float64
+	// MinShots is the minimum shot count below which a merged scene is
+	// eliminated (paper: 3).
+	MinShots int
+}
+
+// DefaultMinShots is the paper's scene-elimination floor.
+const DefaultMinShots = 3
+
+// DefaultMinTG is the absolute merge floor: merging is only ever justified
+// when two groups are more similar than dissimilar under Eq. (9).
+const DefaultMinTG = 0.5
+
+const fallbackTG = 0.6
+
+// SceneResult carries detected scenes, the scenes eliminated for being too
+// small (fewer than MinShots shots), and the evidence used.
+type SceneResult struct {
+	Scenes    []*vidmodel.Scene
+	Discarded []*vidmodel.Scene
+	TG        float64   // merging threshold actually applied
+	AdjSims   []float64 // GpSim between neighbouring groups (TG's sample)
+}
+
+// MergeScenes merges adjacent groups into scenes per §3.4: neighbouring
+// similarities SGi = GpSim(Gi, Gi+1) are collected (Eq. 10), the fast-
+// entropy technique fixes the merging threshold TG, and every maximal run
+// of adjacent groups with similarities above TG becomes one scene. Scenes
+// with fewer than MinShots shots are eliminated (reported separately).
+// Every surviving scene gets its representative group (Eq. 11).
+func MergeScenes(groups []*vidmodel.Group, cfg SceneConfig) (*SceneResult, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("structure: no groups")
+	}
+	minShots := cfg.MinShots
+	if minShots <= 0 {
+		minShots = DefaultMinShots
+	}
+	res := &SceneResult{}
+	for i := 0; i+1 < len(groups); i++ {
+		res.AdjSims = append(res.AdjSims, GroupSim(groups[i], groups[i+1]))
+	}
+	tg := cfg.TG
+	if tg == 0 {
+		tg = entropy.ThresholdOr(res.AdjSims, fallbackTG)
+		minTG := cfg.MinTG
+		if minTG == 0 {
+			minTG = DefaultMinTG
+		}
+		if minTG > 0 && tg < minTG {
+			tg = minTG
+		}
+	}
+	res.TG = tg
+
+	var current []*vidmodel.Group
+	flush := func() {
+		if len(current) == 0 {
+			return
+		}
+		scene := &vidmodel.Scene{Groups: current}
+		scene.RepGroup = SelectRepGroup(scene)
+		if scene.ShotCount() < minShots {
+			res.Discarded = append(res.Discarded, scene)
+		} else {
+			scene.Index = len(res.Scenes)
+			res.Scenes = append(res.Scenes, scene)
+		}
+		current = nil
+	}
+	for i, g := range groups {
+		current = append(current, g)
+		// Merge with the next group when the similarity clears TG; runs
+		// of adjacent high similarities merge transitively (§3.4 step 3).
+		if i < len(res.AdjSims) && res.AdjSims[i] > tg {
+			continue
+		}
+		flush()
+	}
+	flush()
+	return res, nil
+}
+
+// SelectRepGroup implements Eq. (11) and its special cases: with three or
+// more groups the group with the largest average similarity to the others
+// is the representative (the scene centroid); with two, the one with more
+// shots (longer duration breaking ties); with one, itself.
+func SelectRepGroup(scene *vidmodel.Scene) *vidmodel.Group {
+	gs := scene.Groups
+	switch len(gs) {
+	case 0:
+		return nil
+	case 1:
+		return gs[0]
+	case 2:
+		a, b := gs[0], gs[1]
+		switch {
+		case len(a.Shots) != len(b.Shots):
+			if len(a.Shots) > len(b.Shots) {
+				return a
+			}
+			return b
+		case a.Duration() >= b.Duration():
+			return a
+		default:
+			return b
+		}
+	}
+	best, bestAvg := gs[0], -1.0
+	for _, g := range gs {
+		var sum float64
+		for _, o := range gs {
+			if o != g {
+				sum += GroupSim(g, o)
+			}
+		}
+		avg := sum / float64(len(gs)-1)
+		if avg > bestAvg {
+			best, bestAvg = g, avg
+		}
+	}
+	return best
+}

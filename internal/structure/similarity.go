@@ -1,0 +1,47 @@
+// Package structure mines the video content structure of §3: it groups
+// shots (Eqs. 2–6), classifies groups as temporally or spatially related and
+// selects their representative shots (§3.2.1, Eq. 7), evaluates shot–group
+// and group–group similarity (Eqs. 8–9), and merges adjacent groups into
+// scenes with representative groups (§3.4, Eqs. 10–11).
+package structure
+
+import (
+	"classminer/internal/feature"
+	"classminer/internal/vidmodel"
+)
+
+// ShotSim is Eq. (1): the weighted colour/texture similarity between two
+// shots' representative frames, in [0, 1].
+func ShotSim(a, b *vidmodel.Shot) float64 {
+	return feature.StSim(a.Color, a.Texture, b.Color, b.Texture)
+}
+
+// ShotGroupSim is Eq. (8): the similarity between a shot and a group is the
+// maximum similarity between the shot and any shot of the group.
+func ShotGroupSim(s *vidmodel.Shot, g *vidmodel.Group) float64 {
+	best := 0.0
+	for _, gs := range g.Shots {
+		if sim := ShotSim(s, gs); sim > best {
+			best = sim
+		}
+	}
+	return best
+}
+
+// GroupSim is Eq. (9): the benchmark group is the one with fewer shots, and
+// the similarity is the average, over the benchmark group's shots, of each
+// shot's best match in the other group.
+func GroupSim(a, b *vidmodel.Group) float64 {
+	bench, other := a, b
+	if len(b.Shots) < len(a.Shots) {
+		bench, other = b, a
+	}
+	if len(bench.Shots) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range bench.Shots {
+		sum += ShotGroupSim(s, other)
+	}
+	return sum / float64(len(bench.Shots))
+}

@@ -1,0 +1,320 @@
+package structure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"classminer/internal/feature"
+	"classminer/internal/shotdet"
+	"classminer/internal/synth"
+	"classminer/internal/vidmodel"
+)
+
+// mkShot builds a shot with a one-hot colour histogram and one-hot texture,
+// which makes similarities exactly predictable: same colour bin contributes
+// 0.7, same texture bin contributes 0.3.
+func mkShot(idx, colorBin, texBin, frames int) *vidmodel.Shot {
+	c := make([]float64, feature.ColorBins)
+	c[colorBin] = 1
+	tx := make([]float64, feature.TextureDims)
+	tx[texBin] = 1
+	return &vidmodel.Shot{
+		Index: idx, Start: idx * frames, End: (idx + 1) * frames,
+		Color: c, Texture: tx,
+	}
+}
+
+func TestShotSimExactValues(t *testing.T) {
+	a := mkShot(0, 1, 1, 10)
+	b := mkShot(1, 1, 1, 10)
+	c := mkShot(2, 2, 1, 10)
+	d := mkShot(3, 2, 2, 10)
+	if got := ShotSim(a, b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("identical shots sim = %v, want 1", got)
+	}
+	if got := ShotSim(a, c); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("same texture sim = %v, want 0.3", got)
+	}
+	if got := ShotSim(a, d); got > 1e-12 {
+		t.Fatalf("disjoint sim = %v, want 0", got)
+	}
+}
+
+func TestShotGroupSimIsMax(t *testing.T) {
+	g := &vidmodel.Group{Shots: []*vidmodel.Shot{
+		mkShot(0, 1, 1, 10), mkShot(1, 2, 2, 10),
+	}}
+	s := mkShot(2, 2, 2, 10)
+	if got := ShotGroupSim(s, g); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("ShotGroupSim = %v, want 1 (best match)", got)
+	}
+}
+
+func TestGroupSimBenchmarkIsSmaller(t *testing.T) {
+	small := &vidmodel.Group{Shots: []*vidmodel.Shot{mkShot(0, 1, 1, 10)}}
+	big := &vidmodel.Group{Shots: []*vidmodel.Shot{
+		mkShot(1, 1, 1, 10), mkShot(2, 2, 2, 10), mkShot(3, 3, 3, 10),
+	}}
+	// Benchmark = small; its single shot matches perfectly in big.
+	if got := GroupSim(small, big); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("GroupSim = %v, want 1", got)
+	}
+	if got, want := GroupSim(big, small), GroupSim(small, big); got != want {
+		t.Fatalf("GroupSim must be symmetric: %v vs %v", got, want)
+	}
+	empty := &vidmodel.Group{}
+	if got := GroupSim(empty, big); got != 0 {
+		t.Fatalf("empty group sim = %v, want 0", got)
+	}
+}
+
+func TestDetectGroupsSplitsTwoBlocks(t *testing.T) {
+	shots := []*vidmodel.Shot{
+		mkShot(0, 1, 1, 10), mkShot(1, 1, 1, 10), mkShot(2, 1, 1, 10),
+		mkShot(3, 7, 3, 10), mkShot(4, 7, 3, 10), mkShot(5, 7, 3, 10),
+	}
+	res, err := DetectGroups(shots, GroupConfig{T1: 3, T2: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(res.Groups))
+	}
+	if len(res.Groups[0].Shots) != 3 || len(res.Groups[1].Shots) != 3 {
+		t.Fatalf("group sizes = %d/%d, want 3/3", len(res.Groups[0].Shots), len(res.Groups[1].Shots))
+	}
+}
+
+func TestDetectGroupsIsolatedSeparator(t *testing.T) {
+	// An "anchor person" shot dissimilar to both sides must become its own
+	// group boundary (step 2 of §3.2).
+	shots := []*vidmodel.Shot{
+		mkShot(0, 1, 1, 10), mkShot(1, 1, 1, 10),
+		mkShot(2, 9, 9, 10), // isolated
+		mkShot(3, 4, 4, 10), mkShot(4, 4, 4, 10),
+	}
+	res, err := DetectGroups(shots, GroupConfig{T1: 3, T2: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 3 {
+		t.Fatalf("got %d groups, want 3 (separator isolated)", len(res.Groups))
+	}
+	if len(res.Groups[1].Shots) != 1 || res.Groups[1].Shots[0].Index != 2 {
+		t.Fatalf("middle group should be the separator shot")
+	}
+}
+
+func TestDetectGroupsTemporalAlternation(t *testing.T) {
+	// A dialog-style A/B alternation stays one TEMPORAL group: every shot
+	// keeps high right-correlation via the +2 lookahead.
+	shots := []*vidmodel.Shot{
+		mkShot(0, 1, 1, 10), mkShot(1, 5, 5, 10),
+		mkShot(2, 1, 1, 10), mkShot(3, 5, 5, 10),
+		mkShot(4, 1, 1, 10), mkShot(5, 5, 5, 10),
+	}
+	res, err := DetectGroups(shots, GroupConfig{T1: 3, T2: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 {
+		t.Fatalf("got %d groups, want 1", len(res.Groups))
+	}
+	g := res.Groups[0]
+	if g.Kind != vidmodel.GroupTemporal {
+		t.Fatalf("group kind = %v, want temporal", g.Kind)
+	}
+	if len(g.RepShots) != 2 {
+		t.Fatalf("temporal group should have 2 representative shots (one per cluster), got %d", len(g.RepShots))
+	}
+}
+
+func TestDetectGroupsSpatialKind(t *testing.T) {
+	shots := []*vidmodel.Shot{
+		mkShot(0, 1, 1, 10), mkShot(1, 1, 1, 10), mkShot(2, 1, 1, 10),
+	}
+	res, err := DetectGroups(shots, GroupConfig{T1: 3, T2: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 1 || res.Groups[0].Kind != vidmodel.GroupSpatial {
+		t.Fatalf("want one spatial group")
+	}
+	if len(res.Groups[0].RepShots) != 1 {
+		t.Fatal("spatial group should have a single representative")
+	}
+}
+
+func TestDetectGroupsEmpty(t *testing.T) {
+	if _, err := DetectGroups(nil, GroupConfig{}); err == nil {
+		t.Fatal("want error on empty shots")
+	}
+}
+
+func TestDetectGroupsAutoThresholds(t *testing.T) {
+	var shots []*vidmodel.Shot
+	idx := 0
+	for block := 0; block < 4; block++ {
+		for i := 0; i < 4; i++ {
+			shots = append(shots, mkShot(idx, block*20+1, block%10, 10))
+			idx++
+		}
+	}
+	res, err := DetectGroups(shots, GroupConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.T1 < 1 {
+		t.Fatalf("auto T1 = %v, want >= 1", res.T1)
+	}
+	if res.T2 <= 0 || res.T2 >= 1 {
+		t.Fatalf("auto T2 = %v, want in (0,1)", res.T2)
+	}
+	if len(res.Groups) != 4 {
+		t.Fatalf("auto thresholds found %d groups, want 4", len(res.Groups))
+	}
+}
+
+func TestSelectRepShotCases(t *testing.T) {
+	// Two shots: longer wins.
+	a := mkShot(0, 1, 1, 10)
+	b := mkShot(1, 1, 1, 20)
+	if got := selectRepShot([]*vidmodel.Shot{a, b}); got != b {
+		t.Fatal("two-shot cluster: longer must win")
+	}
+	// One shot: itself.
+	if got := selectRepShot([]*vidmodel.Shot{a}); got != a {
+		t.Fatal("singleton cluster must return the shot")
+	}
+	if selectRepShot(nil) != nil {
+		t.Fatal("empty cluster must return nil")
+	}
+	// Three shots: the one closest to the others on average.
+	center := mkShot(2, 1, 1, 10)
+	off1 := mkShot(3, 1, 2, 10) // sim 0.7 to center
+	off2 := mkShot(4, 2, 1, 10) // sim 0.3 to center
+	got := selectRepShot([]*vidmodel.Shot{off1, center, off2})
+	if got != center {
+		t.Fatalf("rep shot should be the centroid, got shot %d", got.Index)
+	}
+}
+
+func TestMergeScenesBasic(t *testing.T) {
+	mkGroup := func(idx int, bins ...int) *vidmodel.Group {
+		g := &vidmodel.Group{Index: idx}
+		for i, b := range bins {
+			g.Shots = append(g.Shots, mkShot(idx*10+i, b, 1, 10))
+		}
+		return g
+	}
+	groups := []*vidmodel.Group{
+		mkGroup(0, 1, 1), mkGroup(1, 1, 2), // similar pair -> one scene
+		mkGroup(2, 9, 9, 9), // distinct -> own scene
+	}
+	res, err := MergeScenes(groups, SceneConfig{TG: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenes) != 2 {
+		t.Fatalf("got %d scenes, want 2", len(res.Scenes))
+	}
+	if len(res.Scenes[0].Groups) != 2 {
+		t.Fatalf("first scene has %d groups, want 2", len(res.Scenes[0].Groups))
+	}
+	if res.Scenes[0].RepGroup == nil || res.Scenes[1].RepGroup == nil {
+		t.Fatal("scenes must carry representative groups")
+	}
+}
+
+func TestMergeScenesEliminatesSmall(t *testing.T) {
+	groups := []*vidmodel.Group{
+		{Index: 0, Shots: []*vidmodel.Shot{mkShot(0, 1, 1, 10), mkShot(1, 1, 1, 10), mkShot(2, 1, 1, 10)}},
+		{Index: 1, Shots: []*vidmodel.Shot{mkShot(3, 9, 9, 10)}}, // 1 shot -> eliminated
+	}
+	res, err := MergeScenes(groups, SceneConfig{TG: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenes) != 1 {
+		t.Fatalf("got %d scenes, want 1", len(res.Scenes))
+	}
+	if len(res.Discarded) != 1 {
+		t.Fatalf("got %d discarded, want 1", len(res.Discarded))
+	}
+}
+
+func TestMergeScenesEmpty(t *testing.T) {
+	if _, err := MergeScenes(nil, SceneConfig{}); err == nil {
+		t.Fatal("want error on empty groups")
+	}
+}
+
+func TestSelectRepGroupCases(t *testing.T) {
+	g1 := &vidmodel.Group{Shots: []*vidmodel.Shot{mkShot(0, 1, 1, 10), mkShot(1, 1, 1, 10)}}
+	g2 := &vidmodel.Group{Shots: []*vidmodel.Shot{mkShot(2, 1, 1, 10)}}
+	// Two groups: more shots wins.
+	s := &vidmodel.Scene{Groups: []*vidmodel.Group{g1, g2}}
+	if got := SelectRepGroup(s); got != g1 {
+		t.Fatal("two-group scene: larger group must win")
+	}
+	// Single group: itself.
+	if got := SelectRepGroup(&vidmodel.Scene{Groups: []*vidmodel.Group{g2}}); got != g2 {
+		t.Fatal("single-group scene must return its group")
+	}
+	if SelectRepGroup(&vidmodel.Scene{}) != nil {
+		t.Fatal("empty scene must return nil")
+	}
+	// Tie on shots: longer duration wins.
+	ga := &vidmodel.Group{Shots: []*vidmodel.Shot{{Index: 0, Start: 0, End: 30, Color: mkShot(0, 1, 1, 1).Color, Texture: mkShot(0, 1, 1, 1).Texture}}}
+	gb := &vidmodel.Group{Shots: []*vidmodel.Shot{{Index: 1, Start: 30, End: 40, Color: mkShot(0, 1, 1, 1).Color, Texture: mkShot(0, 1, 1, 1).Texture}}}
+	if got := SelectRepGroup(&vidmodel.Scene{Groups: []*vidmodel.Group{ga, gb}}); got != ga {
+		t.Fatal("duration tiebreak failed")
+	}
+}
+
+// Integration: shots from a real synthetic video must group into scenes
+// whose boundaries mostly coincide with the scripted semantic units.
+func TestPipelineOnSyntheticVideo(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	script := &synth.Script{Name: "pipe", Scenes: []synth.SceneSpec{
+		synth.PresentationScene(rng, 0, 1, 1),
+		synth.OperationScene(rng, 2, 2, synth.ContentSurgical, 0),
+		synth.DialogScene(rng, 4, 3, 2, 3),
+	}}
+	v, err := synth.Generate(synth.DefaultConfig(), script, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shots, _, err := shotdet.Detect(v, shotdet.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gres, err := DetectGroups(shots, GroupConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gres.Groups) < 3 {
+		t.Fatalf("only %d groups detected", len(gres.Groups))
+	}
+	sres, err := MergeScenes(gres.Groups, SceneConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sres.Scenes) == 0 {
+		t.Fatal("no scenes detected")
+	}
+	// Precision in the paper's sense: a detected scene is right iff all
+	// its shots lie in one true scene.
+	right := 0
+	for _, sc := range sres.Scenes {
+		first, last := sc.FrameSpan()
+		if v.Truth.SceneAt(first) == v.Truth.SceneAt(last-1) {
+			right++
+		}
+	}
+	p := float64(right) / float64(len(sres.Scenes))
+	if p < 0.5 {
+		t.Fatalf("scene precision %.2f too low (%d/%d)", p, right, len(sres.Scenes))
+	}
+}

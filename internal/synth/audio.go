@@ -1,0 +1,119 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Voice holds the source-filter parameters of one synthetic speaker. Voices
+// differ in glottal pitch and formant placement, which is exactly what the
+// MFCC/BIC speaker-change detector of §4.2 keys on.
+type Voice struct {
+	F0        float64    // fundamental frequency (Hz)
+	Formants  [3]float64 // formant centre frequencies (Hz)
+	Bandwidth float64    // formant bandwidth (Hz)
+	Gain      float64
+}
+
+// VoiceForSpeaker returns the deterministic voice of a speaker ID (≥ 1).
+// Adjacent IDs are spaced far enough apart in pitch and formant space to be
+// separable, close enough to be occasionally confusable — mirroring real
+// recordings.
+func VoiceForSpeaker(id int) Voice {
+	k := float64(id)
+	return Voice{
+		F0:        85 + 34*math.Mod(k*1.7, 5),
+		Formants:  [3]float64{280 + 70*math.Mod(k*1.3, 4), 1100 + 210*math.Mod(k*2.1, 4), 2300 + 240*math.Mod(k*0.9, 4)},
+		Bandwidth: 140,
+		Gain:      0.32,
+	}
+}
+
+// synthSpeech writes n samples of voiced speech for the given voice into
+// dst, starting at global sample offset (for phase continuity). The signal
+// is a harmonic series shaped by the voice's formant envelope, modulated by
+// a syllable-rate amplitude contour with pauses, over a small noise floor.
+func synthSpeech(dst []float64, offset int, v Voice, sampleRate int, rng *rand.Rand) {
+	if sampleRate <= 0 {
+		return
+	}
+	nyquist := float64(sampleRate) / 2
+	nHarm := int(nyquist*0.9/v.F0) - 1
+	if nHarm < 1 {
+		nHarm = 1
+	}
+	if nHarm > 40 {
+		nHarm = 40
+	}
+	weights := make([]float64, nHarm+1)
+	for h := 1; h <= nHarm; h++ {
+		f := float64(h) * v.F0
+		var w float64
+		for _, fm := range v.Formants {
+			d := (f - fm) / v.Bandwidth
+			w += math.Exp(-0.5 * d * d)
+		}
+		weights[h] = (w + 0.02) / float64(h) // spectral tilt
+	}
+	syllableHz := 3.4
+	jitter := rng.Float64() * 2 * math.Pi
+	for i := range dst {
+		t := float64(offset+i) / float64(sampleRate)
+		// Syllable envelope with a pause band.
+		env := math.Abs(math.Sin(2*math.Pi*syllableHz*t + jitter))
+		env = math.Pow(env, 0.7)
+		if math.Sin(2*math.Pi*0.5*t+jitter) < -0.82 {
+			env *= 0.05 // inter-phrase pause
+		}
+		var s float64
+		for h := 1; h <= nHarm; h++ {
+			s += weights[h] * math.Sin(2*math.Pi*float64(h)*v.F0*t)
+		}
+		dst[i] = v.Gain*env*s*0.25 + (rng.Float64()*2-1)*0.004
+	}
+}
+
+// synthAmbient writes n samples of non-speech room tone: low-passed noise
+// with occasional metallic transients (instrument clinks in an operating
+// room). It is what the speech/non-speech GMM must reject.
+func synthAmbient(dst []float64, sampleRate int, rng *rand.Rand) {
+	var lp float64
+	clinkLeft := 0
+	var clinkPhase float64
+	for i := range dst {
+		white := rng.Float64()*2 - 1
+		lp = 0.96*lp + 0.04*white
+		s := lp * 0.35
+		if clinkLeft == 0 && rng.Float64() < 0.0004 {
+			clinkLeft = sampleRate / 30
+			clinkPhase = 0
+		}
+		if clinkLeft > 0 {
+			s += 0.2 * math.Sin(clinkPhase) * float64(clinkLeft) / float64(sampleRate/30)
+			clinkPhase += 2 * math.Pi * 2600 / float64(sampleRate)
+			clinkLeft--
+		}
+		dst[i] = s
+	}
+}
+
+// synthSilence writes near-silence (tiny noise floor).
+func synthSilence(dst []float64, rng *rand.Rand) {
+	for i := range dst {
+		dst[i] = (rng.Float64()*2 - 1) * 0.002
+	}
+}
+
+// synthMusic writes simple sustained triad tones — the "intro music" case
+// for the speech/non-speech classifier's training set.
+func synthMusic(dst []float64, offset, sampleRate int, rng *rand.Rand) {
+	freqs := [3]float64{220, 277.18, 329.63}
+	for i := range dst {
+		t := float64(offset+i) / float64(sampleRate)
+		var s float64
+		for _, f := range freqs {
+			s += math.Sin(2 * math.Pi * f * t)
+		}
+		dst[i] = s*0.12 + (rng.Float64()*2-1)*0.002
+	}
+}

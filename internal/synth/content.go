@@ -1,0 +1,247 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"classminer/internal/vidmodel"
+)
+
+// ContentKind enumerates what a synthetic camera is pointed at. Each kind
+// exercises a different detector from §4.1 of the paper.
+type ContentKind int
+
+const (
+	// ContentEstablishing is a neutral interior/exterior view (no event cue).
+	ContentEstablishing ContentKind = iota
+	// ContentSlide is a man-made presentation slide: light ground, title,
+	// text bars; almost no motion or colour variety.
+	ContentSlide
+	// ContentClipart is a man-made diagram: white ground with a few
+	// saturated shapes.
+	ContentClipart
+	// ContentBlack is a black (leader/separator) frame run.
+	ContentBlack
+	// ContentFace is a head-and-shoulders speaker view.
+	ContentFace
+	// ContentSurgical is an operating-field view: drape, exposed skin,
+	// blood-red region, instruments.
+	ContentSurgical
+	// ContentSkinExam is a dermatology-style close-up dominated by skin.
+	ContentSkinExam
+	// ContentOrgan is an organ/endoscopic close-up: reddish tissue field.
+	ContentOrgan
+)
+
+func (k ContentKind) String() string {
+	switch k {
+	case ContentSlide:
+		return "slide"
+	case ContentClipart:
+		return "clipart"
+	case ContentBlack:
+		return "black"
+	case ContentFace:
+		return "face"
+	case ContentSurgical:
+		return "surgical"
+	case ContentSkinExam:
+		return "skin-exam"
+	case ContentOrgan:
+		return "organ"
+	default:
+		return "establishing"
+	}
+}
+
+// Camera describes one synthetic camera setup: what it films and with which
+// visual identity. Two shots rendered from the same Camera look like
+// recurrences of one physical camera; different Variant values change the
+// composition while keeping the palette.
+type Camera struct {
+	Kind     ContentKind
+	Palette  Palette
+	Variant  int     // composition seed within the setting
+	FaceFrac float64 // face area fraction for ContentFace (close-up ≥ 0.10)
+	SkinFrac float64 // exposed-skin fraction for surgical/skin-exam content
+	Blood    bool    // whether a blood-red region is present
+	Pan      float64 // horizontal pan speed in pixels/frame
+}
+
+// Palette is the visual identity of a scene setting.
+type Palette struct {
+	BGTop, BGBottom RGB // background gradient
+	Accent          RGB // clothes / furniture / instruments
+	Skin            RGB // skin tone used by faces and fields
+	Hair            RGB
+}
+
+// renderFrame draws frame t (0-based within the shot) of the camera's view.
+// noise is the sensor-noise amplitude; rng drives all stochastic detail.
+func renderFrame(cam Camera, w, h, t int, noise float64, rng *rand.Rand) *vidmodel.Frame {
+	f := vidmodel.NewFrame(w, h)
+	switch cam.Kind {
+	case ContentSlide:
+		renderSlide(f, cam, false)
+	case ContentClipart:
+		renderClipart(f, cam)
+	case ContentBlack:
+		fillRect(f, 0, 0, w, h, RGB{4, 4, 4})
+	case ContentFace:
+		renderFaceView(f, cam, t)
+	case ContentSurgical:
+		renderSurgical(f, cam, t)
+	case ContentSkinExam:
+		renderSkinExam(f, cam, t)
+	case ContentOrgan:
+		renderOrgan(f, cam, t)
+	default:
+		renderEstablishing(f, cam, t)
+	}
+	addNoise(f, noise, rng)
+	return f
+}
+
+func renderSlide(f *vidmodel.Frame, cam Camera, sketch bool) {
+	bg := RGB{235, 233, 224}
+	ink := RGB{40, 40, 60}
+	if sketch {
+		bg = RGB{250, 250, 250}
+		ink = RGB{70, 70, 70}
+	}
+	fillRect(f, 0, 0, f.W, f.H, bg)
+	// Title band tinted by the setting accent.
+	fillRect(f, 2, 2, f.W-2, 6, lerp(cam.Palette.Accent, bg, 0.35))
+	textBars(f, 9, 4+cam.Variant%3, cam.Variant, ink)
+	// An embedded figure whose colour and position follow the slide
+	// variant, so consecutive slides differ by more than bar widths (and
+	// the subtle slide-change cuts remain detectable).
+	figures := []RGB{{180, 90, 70}, {80, 120, 180}, {110, 160, 90}, {170, 150, 70}, {140, 90, 150}}
+	fig := figures[cam.Variant%len(figures)]
+	fx := f.W/2 + (cam.Variant%3)*f.W/8
+	fy := f.H * 2 / 3
+	fillRect(f, fx, fy, fx+f.W/4, fy+f.H/5, fig)
+}
+
+func renderClipart(f *vidmodel.Frame, cam Camera) {
+	fillRect(f, 0, 0, f.W, f.H, RGB{250, 250, 250})
+	// A few saturated shapes arranged by the variant.
+	shapes := []RGB{{220, 60, 50}, {50, 120, 210}, {240, 190, 40}, {60, 170, 90}}
+	for i := 0; i < 3; i++ {
+		c := shapes[(cam.Variant+i)%len(shapes)]
+		cx := float64(f.W) * (0.25 + 0.25*float64((cam.Variant+i)%3))
+		cy := float64(f.H) * (0.3 + 0.2*float64(i%2))
+		fillEllipse(f, cx, cy, float64(f.W)/10, float64(f.H)/8, c)
+	}
+	fillRect(f, 3, f.H-6, f.W*2/3, f.H-4, RGB{80, 80, 80})
+}
+
+func renderFaceView(f *vidmodel.Frame, cam Camera, t int) {
+	vGradient(f, cam.Palette.BGTop, cam.Palette.BGBottom)
+	// Background furniture whose layout follows the variant, so reverse
+	// angles of a dialog are visually distinct even with shared palettes.
+	prop := lerp(cam.Palette.Accent, cam.Palette.BGBottom, 0.4)
+	px := (cam.Variant % 4) * f.W / 4
+	fillRect(f, px, f.H/4, px+f.W/5, f.H, prop)
+	bob := math.Sin(float64(t)*0.6+float64(cam.Variant)) * float64(f.H) * 0.01
+	clothes := jitterColorless(cam.Palette.Accent, cam.Variant)
+	drawFaceAt(f, cam.Palette.Skin, cam.Palette.Hair, clothes, cam.FaceFrac, bob,
+		0.38+0.08*float64(cam.Variant%4))
+}
+
+func renderSurgical(f *vidmodel.Frame, cam Camera, t int) {
+	// Surgical drape background; shade follows the camera variant so that
+	// re-framings of the field (new takes) are visually distinguishable.
+	shade := float64(cam.Variant%5) * 0.09
+	vGradient(f, lerp(cam.Palette.BGTop, RGB{20, 40, 40}, shade),
+		lerp(cam.Palette.BGBottom, RGB{15, 30, 30}, shade))
+	pan := float64(t) * cam.Pan
+	// Exposed skin field sized by SkinFrac, framed per variant.
+	w, h := float64(f.W), float64(f.H)
+	rx := math.Sqrt(cam.SkinFrac*w*h/math.Pi) * 1.2
+	ry := rx * 0.75
+	cx := w*(0.35+0.075*float64(cam.Variant%5)) + pan
+	cy := h * (0.45 + 0.05*float64(cam.Variant%3))
+	fillEllipse(f, cx, cy, rx, ry, cam.Palette.Skin)
+	if cam.Blood {
+		blood := RGB{150, 18, 22}
+		fillEllipse(f, cx-pan*0.2, cy, rx*0.45, ry*0.4, blood)
+		fillEllipse(f, cx-pan*0.2+rx*0.3, cy-ry*0.2, rx*0.2, ry*0.2, RGB{170, 25, 25})
+	}
+	// Instrument: a light steel line entering from the variant's corner.
+	steel := RGB{190, 195, 200}
+	x0 := (cam.Variant % 2) * (f.W - 1)
+	for i := 0; i < f.W/2; i++ {
+		x := x0 + i*sign(f.W/2-x0)
+		y := f.H/6 + i/2 + (cam.Variant%4)*2
+		f.Set(x, y, steel.R, steel.G, steel.B)
+		f.Set(x, y+1, steel.R, steel.G, steel.B)
+	}
+}
+
+func renderSkinExam(f *vidmodel.Frame, cam Camera, t int) {
+	// Frame dominated by skin with a few darker lesions; slow pan.
+	fillRect(f, 0, 0, f.W, f.H, cam.Palette.Skin)
+	pan := int(float64(t) * cam.Pan)
+	lesion := RGB{105, 70, 55}
+	for i := 0; i < 3; i++ {
+		cx := float64((cam.Variant*13 + i*17 + pan) % f.W)
+		cy := float64((cam.Variant*7 + i*11) % f.H)
+		fillEllipse(f, cx, cy, 1.8, 1.5, lesion)
+	}
+	// Border of clothing/drape so the frame is not 100% skin.
+	fillRect(f, 0, f.H-3, f.W, f.H, cam.Palette.Accent)
+}
+
+func renderOrgan(f *vidmodel.Frame, cam Camera, t int) {
+	shade := float64(cam.Variant%4) * 0.12
+	vGradient(f, lerp(RGB{120, 30, 30}, RGB{70, 20, 35}, shade),
+		lerp(RGB{90, 20, 25}, RGB{50, 15, 30}, shade))
+	pan := float64(t) * cam.Pan
+	cx := float64(f.W)*(0.4+0.06*float64(cam.Variant%4)) + pan
+	fillEllipse(f, cx, float64(f.H)*(0.45+0.04*float64(cam.Variant%3)),
+		float64(f.W)*(0.22+0.04*float64(cam.Variant%3)), float64(f.H)*0.28, RGB{160, 45, 40})
+	if cam.Blood {
+		fillEllipse(f, cx-float64(f.W)*0.08, float64(f.H)*0.55,
+			float64(f.W)*0.12, float64(f.H)*0.1, RGB{150, 18, 22})
+	}
+	// Endoscopic tool tip.
+	steel := RGB{200, 205, 210}
+	fillRect(f, f.W-4-(cam.Variant%3)*3, 0, f.W-1-(cam.Variant%3)*3, f.H/3, steel)
+}
+
+func renderEstablishing(f *vidmodel.Frame, cam Camera, t int) {
+	vGradient(f, cam.Palette.BGTop, cam.Palette.BGBottom)
+	pan := int(float64(t) * cam.Pan)
+	// Architectural blocks whose layout follows the variant.
+	for i := 0; i < 4; i++ {
+		x0 := ((cam.Variant*11+i*9)*f.W/40 + pan) % f.W
+		fillRect(f, x0, f.H/3, x0+f.W/8, f.H, jitterColorless(cam.Palette.Accent, i))
+	}
+}
+
+// jitterColorless derives deterministic shade variants of a colour.
+func jitterColorless(c RGB, i int) RGB {
+	d := byte(i * 12)
+	add := func(v byte) byte {
+		x := int(v) + int(d) - 18
+		if x < 0 {
+			x = 0
+		}
+		if x > 255 {
+			x = 255
+		}
+		return byte(x)
+	}
+	return RGB{add(c.R), add(c.G), add(c.B)}
+}
+
+func sign(x int) int {
+	if x < 0 {
+		return -1
+	}
+	if x > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,228 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+
+	"classminer/internal/vidmodel"
+)
+
+// videoProfile fixes the event mix of one corpus video. Counts are chosen
+// so that at Scale = 1 the corpus contains the paper's Table-1 population:
+// 15 presentation, 28 dialog and 39 clinical-operation scenes, plus
+// connective material.
+type videoProfile struct {
+	name          string
+	presentations int
+	dialogs       int
+	clinical      int
+	establishing  int
+	clinicalKind  ContentKind
+}
+
+var corpusProfiles = []videoProfile{
+	{name: "face-repair", presentations: 3, dialogs: 6, clinical: 8, establishing: 3, clinicalKind: ContentSurgical},
+	{name: "nuclear-medicine", presentations: 4, dialogs: 6, clinical: 5, establishing: 3, clinicalKind: ContentOrgan},
+	{name: "laparoscopy", presentations: 3, dialogs: 4, clinical: 10, establishing: 2, clinicalKind: ContentOrgan},
+	{name: "skin-examination", presentations: 2, dialogs: 7, clinical: 8, establishing: 3, clinicalKind: ContentSkinExam},
+	{name: "laser-eye-surgery", presentations: 3, dialogs: 5, clinical: 8, establishing: 2, clinicalKind: ContentSurgical},
+}
+
+// CorpusNames lists the five synthetic stand-ins for the paper's dataset
+// (face repair, nuclear medicine, laparoscopy, skin examination, laser eye
+// surgery).
+func CorpusNames() []string {
+	names := make([]string, len(corpusProfiles))
+	for i, p := range corpusProfiles {
+		names[i] = p.name
+	}
+	return names
+}
+
+// CorpusScripts builds the scripts of the five-video evaluation corpus.
+// scale multiplies every scene count (scale 1 ≈ a 1:6 time-scaled version
+// of the paper's 6-hour dataset); seed fixes the scenario randomness.
+func CorpusScripts(scale float64, seed int64) []*Script {
+	if scale <= 0 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	scripts := make([]*Script, 0, len(corpusProfiles))
+	for vi, p := range corpusProfiles {
+		scripts = append(scripts, buildVideo(p, scale, vi, rng))
+	}
+	return scripts
+}
+
+// CorpusScript builds a single corpus video by name (see CorpusNames).
+// It returns nil for an unknown name.
+func CorpusScript(name string, scale float64, seed int64) *Script {
+	if scale <= 0 {
+		scale = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for vi, p := range corpusProfiles {
+		s := buildVideo(p, scale, vi, rng) // keep rng state identical to CorpusScripts
+		if p.name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+func scaled(n int, scale float64) int {
+	v := int(math.Round(float64(n) * scale))
+	if n > 0 && v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// setting identifies one recurring audiovisual setup within a video.
+type setting struct {
+	kind      vidmodel.EventKind
+	seed      int64
+	clusterID int
+	family    int
+	palette   Palette // setting-specific jitter of the family palette
+	speakerA  int
+	speakerB  int
+	content   ContentKind
+}
+
+func buildVideo(p videoProfile, scale float64, videoIndex int, rng *rand.Rand) *Script {
+	script := &Script{Name: p.name}
+	clusterBase := videoIndex * 100
+
+	// A small pool of recurring settings per event type. Recurrences of a
+	// setting share the cluster ID, palette family and cameras, which is
+	// what the §3.5 scene clustering is supposed to discover.
+	mkSettings := func(kind vidmodel.EventKind, pool int, content ContentKind) []setting {
+		out := make([]setting, pool)
+		for i := range out {
+			family := rng.Intn(len(paletteFamilies))
+			out[i] = setting{
+				kind:      kind,
+				seed:      rng.Int63(),
+				clusterID: clusterBase + int(kind)*10 + i,
+				family:    family,
+				palette:   JitterPalette(paletteFamilies[family], rng),
+				speakerA:  1 + rng.Intn(6),
+				speakerB:  1 + rng.Intn(6),
+				content:   content,
+			}
+		}
+		return out
+	}
+	presSettings := mkSettings(vidmodel.EventPresentation, 2, ContentSlide)
+	dialSettings := mkSettings(vidmodel.EventDialog, 3, ContentFace)
+	clinSettings := mkSettings(vidmodel.EventClinicalOperation, 3, p.clinicalKind)
+	estSettings := mkSettings(vidmodel.EventUnknown, 2, ContentEstablishing)
+
+	type slot struct {
+		kind vidmodel.EventKind
+		set  []setting
+	}
+	var slots []slot
+	add := func(n int, kind vidmodel.EventKind, set []setting) {
+		for i := 0; i < n; i++ {
+			slots = append(slots, slot{kind: kind, set: set})
+		}
+	}
+	add(scaled(p.presentations, scale), vidmodel.EventPresentation, presSettings)
+	add(scaled(p.dialogs, scale), vidmodel.EventDialog, dialSettings)
+	add(scaled(p.clinical, scale), vidmodel.EventClinicalOperation, clinSettings)
+	add(scaled(p.establishing, scale), vidmodel.EventUnknown, estSettings)
+	rng.Shuffle(len(slots), func(i, j int) { slots[i], slots[j] = slots[j], slots[i] })
+
+	for _, sl := range slots {
+		st := sl.set[rng.Intn(len(sl.set))]
+		script.Scenes = append(script.Scenes, instantiateScene(st, rng))
+	}
+	return script
+}
+
+// instantiateScene builds a scene from its setting. The setting's private
+// seed fixes the cameras (so recurrences look alike); the corpus rng then
+// re-randomises shot durations so recurrences are not frame-identical.
+func instantiateScene(st setting, rng *rand.Rand) SceneSpec {
+	srng := rand.New(rand.NewSource(st.seed))
+	var spec SceneSpec
+	switch st.kind {
+	case vidmodel.EventPresentation:
+		spec = PresentationSceneWithPalette(srng, st.palette, st.clusterID, st.speakerA)
+	case vidmodel.EventDialog:
+		b := st.speakerB
+		if b == st.speakerA {
+			b = st.speakerA%6 + 1
+		}
+		spec = DialogSceneWithPalette(srng, st.palette, st.clusterID, st.speakerA, b)
+	case vidmodel.EventClinicalOperation:
+		narrator := 0
+		if srng.Float64() < 0.4 {
+			narrator = st.speakerA
+		}
+		spec = OperationSceneWithPalette(srng, st.palette, st.clusterID, st.content, narrator)
+	default:
+		spec = EstablishingSceneWithPalette(srng, st.palette, st.clusterID)
+	}
+	// Fresh durations per instance.
+	for gi := range spec.Groups {
+		for si := range spec.Groups[gi].Shots {
+			s := &spec.Groups[gi].Shots[si]
+			delta := rng.Intn(9) - 4
+			// Keep every shot above the 2 s audio-clip floor (23 frames at
+			// the default 10 fps) so shots stay analysable.
+			if s.Frames+delta >= 23 {
+				s.Frames += delta
+			}
+		}
+	}
+	degradeScene(&spec, st, rand.New(rand.NewSource(st.seed+1)))
+	return spec
+}
+
+// degradeScene injects the real-world contaminations that keep event mining
+// below perfect, as in the paper's Table 1: presentations occasionally take
+// an audience question (a second voice — the scene then violates the
+// "no speaker change" rule), and clinical operations often carry a running
+// conversation between surgeons (the paper's clinical recall of 0.54 is
+// dominated by exactly this). Recurrences of a setting share the trait
+// because the mutation rng derives from the setting seed.
+func degradeScene(spec *SceneSpec, st setting, rng *rand.Rand) {
+	switch spec.Event {
+	case vidmodel.EventPresentation:
+		if rng.Float64() < 0.3 {
+			// A Q&A exchange closes the talk: presenter, audience member,
+			// presenter — three face shots with alternating voices. The
+			// scene now looks exactly like a dialog to the §4.3 rules,
+			// which is where the paper's false dialog detections come from.
+			other := st.speakerA%6 + 1
+			g := &spec.Groups[len(spec.Groups)-1]
+			if len(g.Shots) < 3 {
+				return
+			}
+			presenterCam := Camera{Kind: ContentFace, Palette: st.palette, Variant: 1, FaceFrac: 0.14}
+			guestCam := Camera{Kind: ContentFace, Palette: st.palette, Variant: 3, FaceFrac: 0.13}
+			n := len(g.Shots)
+			g.Shots[n-3].Cam, g.Shots[n-3].Speaker = presenterCam, st.speakerA
+			g.Shots[n-2].Cam, g.Shots[n-2].Speaker = guestCam, other
+			g.Shots[n-1].Cam, g.Shots[n-1].Speaker = presenterCam, st.speakerA
+		}
+	case vidmodel.EventClinicalOperation:
+		if rng.Float64() < 0.45 {
+			// The surgeons talk over the procedure: alternate two voices
+			// across the shots of the first group.
+			a := st.speakerA
+			b := a%6 + 1
+			for si := range spec.Groups[0].Shots {
+				s := &spec.Groups[0].Shots[si]
+				if si%2 == 0 {
+					s.Speaker = a
+				} else {
+					s.Speaker = b
+				}
+			}
+		}
+	}
+}

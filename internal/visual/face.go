@@ -1,0 +1,113 @@
+package visual
+
+import (
+	"math"
+
+	"classminer/internal/vidmodel"
+)
+
+// faceAspectMin/Max bound the height/width ratio of an upright face
+// bounding box; surgical skin fields are landscape (aspect < 1) and fail
+// this immediately.
+const (
+	faceAspectMin = 0.95
+	faceAspectMax = 2.2
+	// faceFillMin/Max bracket the fill ratio of an ellipse with small
+	// feature holes.
+	faceFillMin = 0.55
+	faceFillMax = 0.95
+	// faceCurveMin is the minimum normalised correlation between the
+	// region's column-height profile and the elliptical template curve.
+	faceCurveMin = 0.85
+)
+
+// VerifyFace decides whether a candidate skin region is a face, following
+// §4.1: shape analysis (portrait aspect, elliptical fill), facial-feature
+// extraction (dark eye evidence inside the upper half), and the template
+// curve-based verification (the region's vertical profile must trace an
+// ellipse).
+func VerifyFace(f *vidmodel.Frame, mask []bool, reg *Region) bool {
+	if reg.Aspect() < faceAspectMin || reg.Aspect() > faceAspectMax {
+		return false
+	}
+	fill := reg.FillRatio()
+	if fill < faceFillMin || fill > faceFillMax {
+		return false
+	}
+	if !hasEyeEvidence(f, reg) {
+		return false
+	}
+	return templateCurveScore(mask, reg) >= faceCurveMin
+}
+
+// hasEyeEvidence looks for dark pixels in the upper interior of the region
+// on both sides of its vertical axis — the facial-feature extraction step.
+func hasEyeEvidence(f *vidmodel.Frame, reg *Region) bool {
+	top := reg.MinY + reg.Height()/6
+	bottom := reg.MinY + reg.Height()/2
+	left, right := 0, 0
+	for y := top; y <= bottom; y++ {
+		for x := reg.MinX; x <= reg.MaxX; x++ {
+			if f.Gray(x, y) < 70 {
+				if float64(x) < reg.CX {
+					left++
+				} else {
+					right++
+				}
+			}
+		}
+	}
+	return left >= 1 && right >= 1
+}
+
+// templateCurveScore correlates the mask's per-column height profile with
+// the height profile of the ellipse inscribed in the bounding box.
+func templateCurveScore(mask []bool, reg *Region) float64 {
+	w := reg.Width()
+	if w < 3 {
+		return 0
+	}
+	profile := make([]float64, w)
+	for x := 0; x < w; x++ {
+		count := 0
+		for y := reg.MinY; y <= reg.MaxY; y++ {
+			if mask[y*reg.FrameW+reg.MinX+x] {
+				count++
+			}
+		}
+		profile[x] = float64(count)
+	}
+	template := make([]float64, w)
+	rx := float64(w) / 2
+	ry := float64(reg.Height())
+	for x := 0; x < w; x++ {
+		dx := (float64(x) + 0.5 - rx) / rx
+		if dx*dx <= 1 {
+			template[x] = ry * math.Sqrt(1-dx*dx)
+		}
+	}
+	return correlation(profile, template)
+}
+
+// correlation is the Pearson correlation of two equal-length profiles.
+func correlation(a, b []float64) float64 {
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range a {
+		ma += a[i]
+		mb += b[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va <= 0 || vb <= 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}

@@ -1,0 +1,139 @@
+package visual
+
+// Region is a connected component of a binary mask with its shape summary.
+type Region struct {
+	Area           int
+	MinX, MinY     int
+	MaxX, MaxY     int // inclusive bounds
+	CX, CY         float64
+	FrameW, FrameH int
+}
+
+// Width and Height of the bounding box.
+func (r *Region) Width() int  { return r.MaxX - r.MinX + 1 }
+func (r *Region) Height() int { return r.MaxY - r.MinY + 1 }
+
+// AreaFrac is the region area as a fraction of the frame.
+func (r *Region) AreaFrac() float64 {
+	return float64(r.Area) / float64(r.FrameW*r.FrameH)
+}
+
+// Aspect is bounding-box height divided by width.
+func (r *Region) Aspect() float64 {
+	return float64(r.Height()) / float64(r.Width())
+}
+
+// FillRatio is area over bounding-box area; an ellipse fills about π/4.
+func (r *Region) FillRatio() float64 {
+	return float64(r.Area) / float64(r.Width()*r.Height())
+}
+
+// erode removes mask pixels with any off 4-neighbour; dilate is its dual.
+// opening (erode then dilate) deletes speckle noise, the morphological step
+// of §4.1's skin-region processing.
+func erode(mask []bool, w, h int) []bool {
+	out := make([]bool, len(mask))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if !mask[y*w+x] {
+				continue
+			}
+			on := true
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx < 0 || ny < 0 || nx >= w || ny >= h || !mask[ny*w+nx] {
+					on = false
+					break
+				}
+			}
+			out[y*w+x] = on
+		}
+	}
+	return out
+}
+
+func dilate(mask []bool, w, h int) []bool {
+	out := make([]bool, len(mask))
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if mask[y*w+x] {
+				out[y*w+x] = true
+				continue
+			}
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx >= 0 && ny >= 0 && nx < w && ny < h && mask[ny*w+nx] {
+					out[y*w+x] = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// open performs one morphological opening pass.
+func open(mask []bool, w, h int) []bool { return dilate(erode(mask, w, h), w, h) }
+
+// components labels the mask 4-connectedly and returns regions of at least
+// minArea pixels, largest first. This is the general shape-analysis step of
+// §4.1 that keeps only regions of considerable width and height.
+func components(mask []bool, w, h, minArea int) []*Region {
+	labels := make([]int, len(mask))
+	var regions []*Region
+	var stack []int
+	next := 0
+	for i := range mask {
+		if !mask[i] || labels[i] != 0 {
+			continue
+		}
+		next++
+		reg := &Region{MinX: w, MinY: h, MaxX: -1, MaxY: -1, FrameW: w, FrameH: h}
+		stack = append(stack[:0], i)
+		labels[i] = next
+		var sumX, sumY float64
+		for len(stack) > 0 {
+			p := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			x, y := p%w, p/w
+			reg.Area++
+			sumX += float64(x)
+			sumY += float64(y)
+			if x < reg.MinX {
+				reg.MinX = x
+			}
+			if x > reg.MaxX {
+				reg.MaxX = x
+			}
+			if y < reg.MinY {
+				reg.MinY = y
+			}
+			if y > reg.MaxY {
+				reg.MaxY = y
+			}
+			for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx < 0 || ny < 0 || nx >= w || ny >= h {
+					continue
+				}
+				np := ny*w + nx
+				if mask[np] && labels[np] == 0 {
+					labels[np] = next
+					stack = append(stack, np)
+				}
+			}
+		}
+		if reg.Area >= minArea {
+			reg.CX = sumX / float64(reg.Area)
+			reg.CY = sumY / float64(reg.Area)
+			regions = append(regions, reg)
+		}
+	}
+	// Largest first (insertion sort; region counts are tiny).
+	for i := 1; i < len(regions); i++ {
+		for j := i; j > 0 && regions[j].Area > regions[j-1].Area; j-- {
+			regions[j], regions[j-1] = regions[j-1], regions[j]
+		}
+	}
+	return regions
+}

@@ -1,0 +1,74 @@
+package visual
+
+import "classminer/internal/vidmodel"
+
+// Gaussian colour models (§4.1): skin and blood-red pixels are detected by
+// thresholded Mahalanobis distance in a (normalised-red, normalised-green,
+// luma) space with diagonal covariance. The parameters are the "trained"
+// models of the paper — here fitted to the synthetic corpus's skin and
+// blood tones, with tolerances wide enough to absorb lighting drift and
+// sensor noise.
+type colorModel struct {
+	meanNR, meanNG, meanLuma float64
+	sdNR, sdNG, sdLuma       float64
+	maxD2                    float64 // squared Mahalanobis acceptance radius
+}
+
+var skinModel = colorModel{
+	meanNR: 0.420, meanNG: 0.324, meanLuma: 0.66,
+	sdNR: 0.020, sdNG: 0.012, sdLuma: 0.10,
+	maxD2: 7,
+}
+
+func (m colorModel) match(r, g, b byte) bool {
+	sum := float64(r) + float64(g) + float64(b)
+	if sum < 30 {
+		return false
+	}
+	nr := float64(r) / sum
+	ng := float64(g) / sum
+	luma := (0.299*float64(r) + 0.587*float64(g) + 0.114*float64(b)) / 255
+	d := sq((nr-m.meanNR)/m.sdNR) + sq((ng-m.meanNG)/m.sdNG) + sq((luma-m.meanLuma)/m.sdLuma)
+	return d <= m.maxD2
+}
+
+func sq(x float64) float64 { return x * x }
+
+// IsSkinPixel reports whether the pixel matches the skin colour model.
+func IsSkinPixel(r, g, b byte) bool { return skinModel.match(r, g, b) }
+
+// IsBloodPixel reports whether the pixel matches the blood-red model:
+// strongly red-dominant chromaticity at moderate intensity (arterial blood,
+// exposed tissue).
+func IsBloodPixel(r, g, b byte) bool {
+	sum := float64(r) + float64(g) + float64(b)
+	if sum < 60 {
+		return false
+	}
+	nr := float64(r) / sum
+	return nr >= 0.55 && r >= 80 && float64(g) < 0.55*float64(r)
+}
+
+// skinMask builds the binary skin map of a frame.
+func skinMask(f *vidmodel.Frame) []bool {
+	mask := make([]bool, f.W*f.H)
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			r, g, b := f.At(x, y)
+			mask[y*f.W+x] = IsSkinPixel(r, g, b)
+		}
+	}
+	return mask
+}
+
+// bloodMask builds the binary blood-red map of a frame.
+func bloodMask(f *vidmodel.Frame) []bool {
+	mask := make([]bool, f.W*f.H)
+	for y := 0; y < f.H; y++ {
+		for x := 0; x < f.W; x++ {
+			r, g, b := f.At(x, y)
+			mask[y*f.W+x] = IsBloodPixel(r, g, b)
+		}
+	}
+	return mask
+}

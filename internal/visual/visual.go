@@ -1,0 +1,201 @@
+// Package visual implements the visual feature processing of §4.1: it
+// classifies representative frames as man-made special frames (black,
+// slide, clipart, sketch) or natural images, and detects the semantic
+// regions the event miner needs — faces (with the close-up test), skin
+// regions (with the close-up test) and blood-red regions — using Gaussian
+// colour models, morphological cleaning, connected-component shape analysis
+// and template-curve face verification.
+package visual
+
+import "classminer/internal/vidmodel"
+
+// SpecialKind classifies a frame per §4.1 / Fig. 9.
+type SpecialKind int
+
+const (
+	// KindNatural is an ordinary camera image.
+	KindNatural SpecialKind = iota
+	// KindBlack is a black separator/leader frame.
+	KindBlack
+	// KindSlide is a presentation slide (bright ground, text rows).
+	KindSlide
+	// KindClipart is a diagram with saturated drawing colours.
+	KindClipart
+	// KindSketch is a near-monochrome line drawing.
+	KindSketch
+)
+
+func (k SpecialKind) String() string {
+	switch k {
+	case KindBlack:
+		return "black"
+	case KindSlide:
+		return "slide"
+	case KindClipart:
+		return "clipart"
+	case KindSketch:
+		return "sketch"
+	default:
+		return "natural"
+	}
+}
+
+// IsManMade reports whether the kind is a slide-like authored frame (the
+// presentation cue of §4.3 counts slides and clipart).
+func (k SpecialKind) IsManMade() bool {
+	return k == KindSlide || k == KindClipart || k == KindSketch
+}
+
+// Thresholds of the event definitions in §4.3.
+const (
+	// FaceCloseUpFrac: a face is a close-up when it covers at least 10 %
+	// of the frame.
+	FaceCloseUpFrac = 0.10
+	// SkinCloseUpFrac: a skin region is a close-up at 20 % of the frame.
+	SkinCloseUpFrac = 0.20
+	// minRegionFrac is the shape-analysis floor: smaller components are
+	// noise ("considerable width and height" in the paper).
+	minRegionFrac = 0.01
+	// bloodMinFrac is the minimum blood-red coverage that counts as a
+	// blood region.
+	bloodMinFrac = 0.005
+)
+
+// Cues summarises everything §4.3 needs to know about one frame.
+type Cues struct {
+	Kind        SpecialKind
+	HasFace     bool
+	FaceCloseUp bool    // face region ≥ FaceCloseUpFrac of the frame
+	FaceFrac    float64 // largest verified face area fraction
+	SkinFrac    float64 // total skin coverage
+	SkinCloseUp bool    // some skin region ≥ SkinCloseUpFrac of the frame
+	HasSkin     bool    // any analysable skin region at all
+	HasBlood    bool
+	BloodFrac   float64
+}
+
+// Analyze extracts all §4.1 cues from one frame.
+func Analyze(f *vidmodel.Frame) Cues {
+	var c Cues
+	c.Kind = classifyFrame(f)
+	if c.Kind != KindNatural {
+		return c
+	}
+	minArea := int(minRegionFrac * float64(f.W*f.H))
+	if minArea < 4 {
+		minArea = 4
+	}
+
+	skin := open(skinMask(f), f.W, f.H)
+	skinRegions := components(skin, f.W, f.H, minArea)
+	for _, reg := range skinRegions {
+		c.SkinFrac += reg.AreaFrac()
+		if reg.AreaFrac() >= SkinCloseUpFrac {
+			c.SkinCloseUp = true
+		}
+		if VerifyFace(f, skin, reg) {
+			c.HasFace = true
+			if reg.AreaFrac() > c.FaceFrac {
+				c.FaceFrac = reg.AreaFrac()
+			}
+		}
+	}
+	c.HasSkin = len(skinRegions) > 0
+	c.FaceCloseUp = c.HasFace && c.FaceFrac >= FaceCloseUpFrac
+
+	blood := bloodMask(f)
+	bloodRegions := components(blood, f.W, f.H, minArea)
+	for _, reg := range bloodRegions {
+		c.BloodFrac += reg.AreaFrac()
+	}
+	c.HasBlood = c.BloodFrac >= bloodMinFrac
+	return c
+}
+
+// classifyFrame separates man-made frames from natural ones using the §4.1
+// observations: man-made frames have little colour variety and structured
+// content; black frames are simply dark and flat.
+func classifyFrame(f *vidmodel.Frame) SpecialKind {
+	n := float64(f.W * f.H)
+	var meanLuma float64
+	var saturated, dark, skin float64
+	// Dominant colour coverage over a coarse 4×4×4 RGB quantisation.
+	var hist [64]float64
+	darkRows := 0
+	for y := 0; y < f.H; y++ {
+		rowDark := 0
+		for x := 0; x < f.W; x++ {
+			r, g, b := f.At(x, y)
+			luma := 0.299*float64(r) + 0.587*float64(g) + 0.114*float64(b)
+			meanLuma += luma
+			if luma < 90 {
+				dark++
+				rowDark++
+			}
+			maxC, minC := maxByte(r, g, b), minByte(r, g, b)
+			if maxC > 120 && float64(maxC-minC) > 0.35*float64(maxC) {
+				saturated++
+			}
+			if IsSkinPixel(r, g, b) {
+				skin++
+			}
+			hist[int(r)/64*16+int(g)/64*4+int(b)/64]++
+		}
+		if float64(rowDark) > 0.18*float64(f.W) {
+			darkRows++
+		}
+	}
+	meanLuma /= n
+	var dom float64
+	for _, hv := range hist {
+		if hv > dom {
+			dom = hv
+		}
+	}
+	domFrac := dom / n
+	satFrac := saturated / n
+
+	switch {
+	case meanLuma < 26 && dark/n > 0.95:
+		return KindBlack
+	// A skin-dominated frame (dermatology close-up) can be both bright and
+	// uniform; it is a natural image, not an authored slide — slide grounds
+	// are near-neutral while skin carries strong chroma.
+	case skin/n > 0.25:
+		return KindNatural
+	case domFrac > 0.45 && meanLuma > 140:
+		// Authored frame on a bright uniform ground.
+		switch {
+		case satFrac > 0.06:
+			return KindClipart
+		case darkRows >= 2:
+			return KindSlide
+		default:
+			return KindSketch
+		}
+	default:
+		return KindNatural
+	}
+}
+
+func maxByte(a, b, c byte) byte {
+	m := a
+	if b > m {
+		m = b
+	}
+	if c > m {
+		m = c
+	}
+	return m
+}
+
+func minByte(a, b, c byte) byte {
+	m := a
+	if b < m {
+		m = b
+	}
+	if c < m {
+		m = c
+	}
+	return m
+}

@@ -1,0 +1,245 @@
+package visual
+
+import (
+	"math/rand"
+	"testing"
+
+	"classminer/internal/synth"
+	"classminer/internal/vidmodel"
+)
+
+func render(t *testing.T, cam synth.Camera, seed int64) *vidmodel.Frame {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	script := &synth.Script{Name: "one", Scenes: []synth.SceneSpec{{
+		Groups: []synth.GroupSpec{{Shots: []synth.ShotSpec{{Cam: cam, Frames: 12}}}},
+	}}}
+	v, err := synth.Generate(synth.DefaultConfig(), script, rng.Int63())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.Frames[9] // the representative frame position
+}
+
+func pal() synth.Palette {
+	return synth.Palette{
+		BGTop:    synth.RGB{R: 70, G: 90, B: 120},
+		BGBottom: synth.RGB{R: 45, G: 60, B: 85},
+		Accent:   synth.RGB{R: 60, G: 70, B: 110},
+		Skin:     synth.RGB{R: 208, G: 162, B: 130},
+		Hair:     synth.RGB{R: 50, G: 40, B: 35},
+	}
+}
+
+func TestClassifyBlackFrame(t *testing.T) {
+	f := render(t, synth.Camera{Kind: synth.ContentBlack, Palette: pal()}, 1)
+	c := Analyze(f)
+	if c.Kind != KindBlack {
+		t.Fatalf("kind = %v, want black", c.Kind)
+	}
+}
+
+func TestClassifySlideFrame(t *testing.T) {
+	f := render(t, synth.Camera{Kind: synth.ContentSlide, Palette: pal(), Variant: 1}, 2)
+	c := Analyze(f)
+	if !c.Kind.IsManMade() {
+		t.Fatalf("kind = %v, want man-made", c.Kind)
+	}
+	if c.Kind == KindBlack {
+		t.Fatal("slide must not be black")
+	}
+}
+
+func TestClassifyClipartFrame(t *testing.T) {
+	f := render(t, synth.Camera{Kind: synth.ContentClipart, Palette: pal(), Variant: 0}, 3)
+	c := Analyze(f)
+	if !c.Kind.IsManMade() {
+		t.Fatalf("kind = %v, want man-made", c.Kind)
+	}
+}
+
+func TestNaturalFramesNotManMade(t *testing.T) {
+	for seed, cam := range []synth.Camera{
+		{Kind: synth.ContentFace, Palette: pal(), FaceFrac: 0.15},
+		{Kind: synth.ContentEstablishing, Palette: pal(), Pan: 0.2},
+		{Kind: synth.ContentSurgical, Palette: pal(), SkinFrac: 0.3, Blood: true},
+	} {
+		f := render(t, cam, int64(seed+10))
+		c := Analyze(f)
+		if c.Kind != KindNatural {
+			t.Fatalf("camera %v classified %v, want natural", cam.Kind, c.Kind)
+		}
+	}
+}
+
+func TestFaceCloseUpDetected(t *testing.T) {
+	f := render(t, synth.Camera{Kind: synth.ContentFace, Palette: pal(), FaceFrac: 0.16}, 20)
+	c := Analyze(f)
+	if !c.HasFace {
+		t.Fatalf("face not detected (skin frac %.3f)", c.SkinFrac)
+	}
+	if !c.FaceCloseUp {
+		t.Fatalf("close-up not flagged, face frac = %.3f", c.FaceFrac)
+	}
+}
+
+func TestSmallFaceNotCloseUp(t *testing.T) {
+	f := render(t, synth.Camera{Kind: synth.ContentFace, Palette: pal(), FaceFrac: 0.05}, 21)
+	c := Analyze(f)
+	if c.FaceCloseUp {
+		t.Fatalf("a 5%% face must not be a close-up (frac %.3f)", c.FaceFrac)
+	}
+}
+
+func TestSurgicalFieldIsSkinNotFace(t *testing.T) {
+	f := render(t, synth.Camera{Kind: synth.ContentSurgical, Palette: pal(), SkinFrac: 0.35, Blood: true, Variant: 1}, 22)
+	c := Analyze(f)
+	if !c.HasSkin {
+		t.Fatal("surgical field skin not detected")
+	}
+	if !c.SkinCloseUp {
+		t.Fatalf("skin close-up not flagged (skin frac %.3f)", c.SkinFrac)
+	}
+	if c.HasFace {
+		t.Fatal("surgical field must not verify as a face")
+	}
+	if !c.HasBlood {
+		t.Fatalf("blood not detected (frac %.4f)", c.BloodFrac)
+	}
+}
+
+func TestSkinExamDominatedBySkin(t *testing.T) {
+	f := render(t, synth.Camera{Kind: synth.ContentSkinExam, Palette: pal(), SkinFrac: 0.5, Pan: 0.2}, 23)
+	c := Analyze(f)
+	if !c.SkinCloseUp {
+		t.Fatalf("skin exam close-up missed (skin frac %.3f)", c.SkinFrac)
+	}
+	if c.HasBlood {
+		t.Fatal("skin exam should have no blood")
+	}
+}
+
+func TestOrganHasBloodRed(t *testing.T) {
+	f := render(t, synth.Camera{Kind: synth.ContentOrgan, Palette: pal(), Blood: true}, 24)
+	c := Analyze(f)
+	if !c.HasBlood {
+		t.Fatalf("organ blood-red region missed (frac %.4f)", c.BloodFrac)
+	}
+}
+
+func TestEstablishingHasNoCues(t *testing.T) {
+	f := render(t, synth.Camera{Kind: synth.ContentEstablishing, Palette: pal(), Pan: 0.3}, 25)
+	c := Analyze(f)
+	if c.HasFace || c.SkinCloseUp || c.HasBlood {
+		t.Fatalf("establishing frame has spurious cues: %+v", c)
+	}
+}
+
+func TestBloodPixelModel(t *testing.T) {
+	if !IsBloodPixel(150, 18, 22) {
+		t.Fatal("arterial red must match")
+	}
+	if !IsBloodPixel(160, 45, 40) {
+		t.Fatal("tissue red must match")
+	}
+	if IsBloodPixel(208, 162, 130) {
+		t.Fatal("skin must not match blood")
+	}
+	if IsBloodPixel(10, 5, 5) {
+		t.Fatal("near-black must not match blood")
+	}
+}
+
+func TestSkinPixelModel(t *testing.T) {
+	for _, c := range [][3]byte{{208, 162, 130}, {196, 150, 120}, {220, 175, 140}} {
+		if !IsSkinPixel(c[0], c[1], c[2]) {
+			t.Fatalf("skin tone %v must match", c)
+		}
+	}
+	for _, c := range [][3]byte{{60, 70, 110}, {150, 18, 22}, {235, 233, 224}, {0, 0, 0}} {
+		if IsSkinPixel(c[0], c[1], c[2]) {
+			t.Fatalf("non-skin %v must not match", c)
+		}
+	}
+}
+
+func TestMorphologyRemovesSpeckle(t *testing.T) {
+	w, h := 16, 16
+	mask := make([]bool, w*h)
+	mask[5*w+5] = true // isolated speckle
+	for y := 8; y < 14; y++ {
+		for x := 2; x < 12; x++ {
+			mask[y*w+x] = true // solid block
+		}
+	}
+	cleaned := open(mask, w, h)
+	if cleaned[5*w+5] {
+		t.Fatal("opening must remove isolated speckle")
+	}
+	if !cleaned[10*w+5] {
+		t.Fatal("opening must keep solid block interior")
+	}
+}
+
+func TestComponentsSeparatesRegions(t *testing.T) {
+	w, h := 20, 10
+	mask := make([]bool, w*h)
+	for y := 2; y < 8; y++ {
+		for x := 1; x < 6; x++ {
+			mask[y*w+x] = true
+		}
+		for x := 12; x < 19; x++ {
+			mask[y*w+x] = true
+		}
+	}
+	regs := components(mask, w, h, 4)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regions, want 2", len(regs))
+	}
+	if regs[0].Area < regs[1].Area {
+		t.Fatal("regions must be sorted largest first")
+	}
+	if regs[0].Width() != 7 || regs[0].Height() != 6 {
+		t.Fatalf("largest region bbox = %dx%d", regs[0].Width(), regs[0].Height())
+	}
+}
+
+func TestComponentsMinArea(t *testing.T) {
+	w, h := 8, 8
+	mask := make([]bool, w*h)
+	mask[0] = true
+	if regs := components(mask, w, h, 2); len(regs) != 0 {
+		t.Fatalf("min-area filter failed: %d regions", len(regs))
+	}
+}
+
+func TestSpecialKindStrings(t *testing.T) {
+	kinds := []SpecialKind{KindNatural, KindBlack, KindSlide, KindClipart, KindSketch}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		if s := k.String(); s == "" || seen[s] {
+			t.Fatalf("kind %d string %q", k, s)
+		} else {
+			seen[s] = true
+		}
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	rng := rand.New(rand.NewSource(30))
+	script := &synth.Script{Name: "bench", Scenes: []synth.SceneSpec{{
+		Groups: []synth.GroupSpec{{Shots: []synth.ShotSpec{{
+			Cam: synth.Camera{Kind: synth.ContentFace, Palette: pal(), FaceFrac: 0.15}, Frames: 12,
+		}}}},
+	}}}
+	v, err := synth.Generate(synth.DefaultConfig(), script, rng.Int63())
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := v.Frames[9]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Analyze(f)
+	}
+}
