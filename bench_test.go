@@ -1,10 +1,12 @@
 package classminer
 
 // One benchmark per table and figure of the paper's evaluation section,
-// plus ablation benches for the design choices DESIGN.md calls out. Each
-// bench re-runs the experiment's computational core per iteration and
-// reports the headline quantities via b.ReportMetric, so
-// `go test -bench=.` regenerates both the numbers and their cost.
+// plus ablation benches for the pipeline's load-bearing design choices
+// (adaptive thresholds, PCS clustering, multi-center index nodes,
+// dimensionality reduction). Each bench re-runs the experiment's
+// computational core per iteration and reports the headline quantities via
+// b.ReportMetric, so `go test -bench=.` regenerates both the numbers and
+// their cost. Serving-layer latency benches live in server_bench_test.go.
 
 import (
 	"math/rand"
@@ -24,8 +26,8 @@ import (
 	"classminer/internal/vidmodel"
 )
 
-// benchScale keeps per-iteration work bounded; the full-scale numbers live
-// in EXPERIMENTS.md (cmd/experiments -scale 1.0).
+// benchScale keeps per-iteration work bounded; regenerate the full-scale
+// numbers with `go run ./cmd/experiments -scale 1.0`.
 const benchScale = 0.4
 
 // benchCorpus caches generated videos and detected shots across benches.

@@ -15,8 +15,10 @@
 //     multi-center non-leaf nodes and hash-table leaves (§2, §6.2), and
 //     hierarchical multilevel access control.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// paper-versus-measured record of every figure and table.
+// A third entry point lives outside this package: internal/server wraps a
+// Library in a concurrent HTTP/JSON API and cmd/classminerd runs it as a
+// daemon. See README.md for the package map, quickstart and experiment
+// commands (cmd/experiments regenerates every figure and table).
 package classminer
 
 import (
@@ -125,8 +127,12 @@ type VideoEntry struct {
 
 // Library is the paper's video database: mined videos behind a
 // concept-hierarchy index with access control. All methods are safe for
-// concurrent use; reads proceed in parallel while AddVideo, Protect and
-// BuildIndex serialise.
+// concurrent use; reads proceed in parallel while registration and policy
+// changes serialise. BuildIndex is copy-on-write: the expensive fit runs
+// outside the lock against a snapshot of the entries and the finished index
+// is swapped in atomically, so concurrent searches keep answering from the
+// previous index (at worst slightly stale) instead of blocking or erroring
+// while a rebuild is in flight.
 type Library struct {
 	mu        sync.RWMutex
 	analyzer  *Analyzer
@@ -135,6 +141,13 @@ type Library struct {
 	videos    map[string]*VideoEntry
 	entries   []*index.Entry
 	ix        *index.Index
+	// entriesVer counts entry-set mutations; ixVer is the entriesVer the
+	// installed index was built from (index is stale while they differ).
+	entriesVer int64
+	ixVer      int64
+	// gen counts every mutation that can change what a query returns
+	// (registration, index swap, policy change). Caches key on it.
+	gen int64
 }
 
 // NewLibrary creates an empty library using the Fig. 2 medical concept
@@ -153,14 +166,37 @@ func (l *Library) Protect(r Rule) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.policy.Add(r)
+	l.gen++
+}
+
+// Generation returns a counter that advances whenever a mutation could
+// change what a query returns. Result caches key on it so an ingested
+// video, an index swap or a new protection rule invalidates stale answers.
+func (l *Library) Generation() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.gen
+}
+
+// checkSubcluster verifies that name is an actual subcluster-level concept
+// ("medicine", "nursing", "dentistry"). Placement must happen at that
+// level: shot paths are rooted under the subcluster's ancestors, so filing
+// a video under a cluster or scene concept would put it outside the
+// subtrees that protection rules govern.
+func (l *Library) checkSubcluster(name string) error {
+	n := l.hierarchy.Find(name)
+	if n == nil || n.Level != concept.LevelSubcluster {
+		return fmt.Errorf("classminer: unknown subcluster concept %q", name)
+	}
+	return nil
 }
 
 // AddVideo mines a video and registers its shots under the given
 // subcluster concept ("medicine", "nursing", "dentistry"). The index is
 // invalidated; call BuildIndex after the last AddVideo.
 func (l *Library) AddVideo(v *Video, subcluster string) (*Result, error) {
-	if l.hierarchy.Find(subcluster) == nil {
-		return nil, fmt.Errorf("classminer: unknown subcluster concept %q", subcluster)
+	if err := l.checkSubcluster(subcluster); err != nil {
+		return nil, err
 	}
 	l.mu.RLock()
 	_, dup := l.videos[v.Name]
@@ -177,7 +213,21 @@ func (l *Library) AddVideo(v *Video, subcluster string) (*Result, error) {
 	return res, l.register(v.Name, res, subcluster)
 }
 
-// register installs a mined result under the lock.
+// AddResult registers an already-mined result (e.g. loaded from a snapshot
+// or produced by a remote miner) under the given subcluster concept. Like
+// AddVideo it leaves the index stale; call BuildIndex afterwards.
+func (l *Library) AddResult(res *Result, subcluster string) error {
+	if res == nil || res.Video == nil {
+		return fmt.Errorf("classminer: nil result")
+	}
+	if err := l.checkSubcluster(subcluster); err != nil {
+		return err
+	}
+	return l.register(res.Video.Name, res, subcluster)
+}
+
+// register installs a mined result under the lock. The installed index is
+// left in place — still serving, now stale — until the next BuildIndex.
 func (l *Library) register(name string, res *Result, subcluster string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -186,23 +236,96 @@ func (l *Library) register(name string, res *Result, subcluster string) error {
 	}
 	l.videos[name] = &VideoEntry{Result: res, Subcluster: subcluster}
 	l.entries = append(l.entries, res.IndexEntries(subcluster)...)
-	l.ix = nil
+	l.entriesVer++
+	l.gen++
 	return nil
 }
 
 // BuildIndex (re)builds the hierarchical index over all registered videos.
+// The fit runs outside the lock against a snapshot of the entries, so
+// concurrent searches keep answering from the previous index until the new
+// one is swapped in. Concurrent builds are safe: an older build never
+// overwrites the result of a newer one.
 func (l *Library) BuildIndex() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if len(l.entries) == 0 {
+	l.mu.RLock()
+	entries := l.entries[:len(l.entries):len(l.entries)]
+	ver := l.entriesVer
+	l.mu.RUnlock()
+	if len(entries) == 0 {
 		return fmt.Errorf("classminer: no videos registered")
 	}
-	ix, err := index.Build(l.entries, index.Options{})
+	ix, err := index.Build(entries, index.Options{})
 	if err != nil {
 		return err
 	}
-	l.ix = ix
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if ver >= l.ixVer {
+		l.ix = ix
+		l.ixVer = ver
+		l.gen++
+	}
 	return nil
+}
+
+// IndexStale reports whether videos were registered after the installed
+// index was built (searches then answer from the older snapshot).
+func (l *Library) IndexStale() bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.ix == nil || l.entriesVer != l.ixVer
+}
+
+// LibraryStats is a point-in-time snapshot of a library's size and index
+// state, the payload of the daemon's /v1/stats endpoint.
+type LibraryStats struct {
+	Videos       int   `json:"videos"`
+	Shots        int   `json:"shots"`
+	IndexedShots int   `json:"indexedShots"`
+	IndexStale   bool  `json:"indexStale"`
+	Generation   int64 `json:"generation"`
+}
+
+// Stats returns a consistent snapshot of the library's counters.
+func (l *Library) Stats() LibraryStats {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	st := LibraryStats{
+		Videos:     len(l.videos),
+		Shots:      len(l.entries),
+		IndexStale: l.ix == nil || l.entriesVer != l.ixVer,
+		Generation: l.gen,
+	}
+	if l.ix != nil {
+		st.IndexedShots = l.ix.Size()
+	}
+	return st
+}
+
+// Allowed reports whether the user may access the given concept path under
+// the library's current policy. The serving layer uses it to gate browsing
+// endpoints with the same rules that filter search results.
+func (l *Library) Allowed(u User, path []string) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.policy.Allowed(u, path)
+}
+
+// HasSubcluster reports whether name is a valid placement target for
+// AddVideo / AddResult (a subcluster-level concept).
+func (l *Library) HasSubcluster(name string) bool {
+	return l.checkSubcluster(name) == nil
+}
+
+// ConceptPath returns the root-exclusive hierarchy path of a concept (e.g.
+// ["medical education", "medicine"] for "medicine"), or nil when unknown.
+// It is the single source of the path shape policy rules match against.
+func (l *Library) ConceptPath(name string) []string {
+	n := l.hierarchy.Find(name)
+	if n == nil {
+		return nil
+	}
+	return n.Path()
 }
 
 // Video returns a registered video's entry, or nil.
@@ -261,7 +384,7 @@ func (l *Library) ScenesByEvent(u User, kind EventKind) []SceneRef {
 	var out []SceneRef
 	for name, ve := range l.videos {
 		leaf := concept.SceneConcept(ve.Subcluster, kind)
-		path := []string{"medical education", ve.Subcluster, leaf}
+		path := append(l.hierarchy.Find(ve.Subcluster).Path(), leaf)
 		if !l.policy.Allowed(u, path) {
 			continue
 		}

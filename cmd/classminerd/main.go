@@ -1,0 +1,217 @@
+// Command classminerd serves a mined video library over HTTP — the online
+// counterpart of the paper's §6 database: hierarchical k-NN search, mined-
+// event scene queries, content-structure browsing and scalable-skimming
+// metadata, all behind multilevel access control.
+//
+// The library is populated from a snapshot (-load), by mining synthetic
+// corpus videos at startup (-bootstrap), or later through POST /v1/videos.
+// On SIGINT/SIGTERM the daemon shuts down gracefully and, when -save is
+// set, checkpoints the library atomically.
+//
+// Usage:
+//
+//	classminerd -addr :8471 -bootstrap laparoscopy -scale 0.4 \
+//	    -token s3cret=dr.lee:clinician:surgeon -anon public -save lib.json
+//
+// Then:
+//
+//	curl localhost:8471/healthz
+//	curl localhost:8471/v1/videos
+//	curl localhost:8471/v1/videos/laparoscopy
+//	curl -X POST localhost:8471/v1/search \
+//	    -d '{"video":"laparoscopy","shot":0,"k":5}'
+//	curl localhost:8471/v1/events/dialog
+//	curl -H 'Authorization: Bearer s3cret' -X POST localhost:8471/v1/videos \
+//	    -d '{"corpus":"skin-examination","subcluster":"medicine","scale":0.4}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"classminer"
+	"classminer/internal/access"
+	"classminer/internal/server"
+	"classminer/internal/store"
+	"classminer/internal/synth"
+)
+
+// tokenFlags accumulates repeated -token values of the form
+// token=name:clearance[:role1|role2...].
+type tokenFlags struct {
+	users map[string]access.User
+}
+
+func (t *tokenFlags) String() string { return fmt.Sprintf("%d tokens", len(t.users)) }
+
+func (t *tokenFlags) Set(v string) error {
+	tok, spec, ok := strings.Cut(v, "=")
+	if !ok || tok == "" {
+		return fmt.Errorf("want token=name:clearance[:roles], got %q", v)
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return fmt.Errorf("want token=name:clearance[:roles], got %q", v)
+	}
+	clearance, err := access.ParseClearance(parts[1])
+	if err != nil {
+		return err
+	}
+	u := access.User{Name: parts[0], Clearance: clearance}
+	if len(parts) == 3 && parts[2] != "" {
+		u.Roles = strings.Split(parts[2], "|")
+	}
+	if t.users == nil {
+		t.users = map[string]access.User{}
+	}
+	t.users[tok] = u
+	return nil
+}
+
+func main() {
+	var tokens tokenFlags
+	addr := flag.String("addr", ":8471", "listen address")
+	load := flag.String("load", "", "load a library snapshot (JSON written by -save or classminer -save)")
+	save := flag.String("save", "", "snapshot path written on shutdown and by POST /v1/admin/save")
+	bootstrap := flag.String("bootstrap", "", "comma-separated corpus videos to mine at startup, or \"all\"")
+	scale := flag.Float64("scale", 0.4, "bootstrap corpus scale")
+	seed := flag.Int64("seed", 2003, "bootstrap corpus seed")
+	subcluster := flag.String("subcluster", "medicine", "concept subcluster for bootstrapped videos")
+	anon := flag.String("anon", "public", "clearance for unauthenticated requests (\"none\" to require a token)")
+	workers := flag.Int("workers", 2, "ingest worker pool size")
+	queue := flag.Int("queue", 8, "ingest queue depth")
+	cacheSize := flag.Int("cache", 256, "search cache entries (negative disables)")
+	skipEvents := flag.Bool("skip-events", false, "mine structure only (faster startup, no event queries on bootstrapped videos)")
+	flag.Var(&tokens, "token", "token=name:clearance[:role1|role2] (repeatable)")
+	flag.Parse()
+
+	if err := run(*addr, *load, *save, *bootstrap, *scale, *seed, *subcluster,
+		*anon, *workers, *queue, *cacheSize, *skipEvents, tokens.users); err != nil {
+		fmt.Fprintln(os.Stderr, "classminerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, load, save, bootstrap string, scale float64, seed int64,
+	subcluster, anon string, workers, queue, cacheSize int, skipEvents bool,
+	tokens map[string]access.User) error {
+	logger := log.New(os.Stderr, "classminerd: ", log.LstdFlags)
+
+	logger.Printf("training analyzer (skipEvents=%v)...", skipEvents)
+	analyzer, err := classminer.NewAnalyzer(classminer.Options{SkipEvents: skipEvents})
+	if err != nil {
+		return err
+	}
+
+	lib, err := buildLibrary(logger, analyzer, load, bootstrap, scale, seed, subcluster)
+	if err != nil {
+		return err
+	}
+
+	opts := server.Options{
+		Tokens:       tokens,
+		CacheSize:    cacheSize,
+		Workers:      workers,
+		QueueDepth:   queue,
+		SnapshotPath: save,
+		Logf:         logger.Printf,
+	}
+	if anon != "" && anon != "none" {
+		clearance, err := access.ParseClearance(anon)
+		if err != nil {
+			return err
+		}
+		opts.Anonymous = &access.User{Name: "anonymous", Clearance: clearance}
+	}
+	srv := server.New(lib, opts)
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("serving %d videos on %s", lib.Stats().Videos, addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	logger.Printf("shutting down...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("shutdown: %v", err)
+	}
+	srv.Close() // drain in-flight ingest jobs before snapshotting
+	if save != "" {
+		if err := store.WriteFileAtomic(save, lib.Save); err != nil {
+			return fmt.Errorf("saving snapshot: %w", err)
+		}
+		logger.Printf("library snapshot saved to %s", save)
+	}
+	return nil
+}
+
+// buildLibrary loads a snapshot and/or mines bootstrap corpus videos.
+func buildLibrary(logger *log.Logger, analyzer *classminer.Analyzer,
+	load, bootstrap string, scale float64, seed int64, subcluster string) (*classminer.Library, error) {
+	var lib *classminer.Library
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, err
+		}
+		lib, err = classminer.LoadLibrary(f, analyzer)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("loading %s: %w", load, err)
+		}
+		logger.Printf("loaded %d videos from %s", lib.Stats().Videos, load)
+	} else {
+		lib = classminer.NewLibrary(analyzer)
+	}
+
+	if bootstrap != "" {
+		names := strings.Split(bootstrap, ",")
+		if bootstrap == "all" {
+			names = synth.CorpusNames()
+		}
+		for _, name := range names {
+			name = strings.TrimSpace(name)
+			if lib.Video(name) != nil {
+				continue // already in the snapshot
+			}
+			script := synth.CorpusScript(name, scale, seed)
+			if script == nil {
+				return nil, fmt.Errorf("unknown corpus video %q (have %v)", name, synth.CorpusNames())
+			}
+			v, err := synth.Generate(synth.DefaultConfig(), script, seed)
+			if err != nil {
+				return nil, err
+			}
+			logger.Printf("mining %q (%d frames)...", name, len(v.Frames))
+			if _, err := lib.AddVideo(v, subcluster); err != nil {
+				return nil, err
+			}
+		}
+		if err := lib.BuildIndex(); err != nil {
+			return nil, err
+		}
+		logger.Printf("index built over %d shots", lib.Stats().IndexedShots)
+	}
+	return lib, nil
+}

@@ -13,7 +13,7 @@ import (
 
 func main() {
 	// 1. A video. Real deployments decode MPEG; this repository ships a
-	// synthetic generator so everything runs offline (see DESIGN.md).
+	// synthetic generator so everything runs offline (see internal/synth).
 	rng := rand.New(rand.NewSource(7))
 	script := &synth.Script{Name: "quickstart", Scenes: []synth.SceneSpec{
 		synth.PresentationScene(rng, 0, 1, 1),                     // presenter + slides

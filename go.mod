@@ -1,0 +1,3 @@
+module classminer
+
+go 1.21

@@ -42,6 +42,25 @@ func (c Clearance) String() string {
 	}
 }
 
+// ParseClearance maps a clearance name (as printed by Clearance.String,
+// case-insensitive) back to its level. It is how external identity — a
+// daemon's token table, a CLI flag — names levels of the built-in lattice.
+func ParseClearance(s string) (Clearance, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "public":
+		return Public, nil
+	case "student":
+		return Student, nil
+	case "nurse":
+		return Nurse, nil
+	case "clinician":
+		return Clinician, nil
+	case "administrator", "admin":
+		return Administrator, nil
+	}
+	return Public, fmt.Errorf("access: unknown clearance %q", s)
+}
+
 // User is a subject with a clearance and optional role names.
 type User struct {
 	Name      string

@@ -15,6 +15,21 @@ func TestDefaultAllow(t *testing.T) {
 	}
 }
 
+func TestParseClearance(t *testing.T) {
+	for _, c := range []Clearance{Public, Student, Nurse, Clinician, Administrator} {
+		got, err := ParseClearance(c.String())
+		if err != nil || got != c {
+			t.Fatalf("ParseClearance(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if got, err := ParseClearance(" Admin "); err != nil || got != Administrator {
+		t.Fatalf("admin alias: %v, %v", got, err)
+	}
+	if _, err := ParseClearance("wizard"); err == nil {
+		t.Fatal("want error for unknown clearance")
+	}
+}
+
 func TestClearanceGate(t *testing.T) {
 	p := NewPolicy(Rule{Concept: "medicine/clinical operation", MinClearance: Clinician})
 	if p.Allowed(User{Name: "kid", Clearance: Public}, clinicalPath) {

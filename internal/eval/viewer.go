@@ -9,7 +9,8 @@ import (
 )
 
 // The simulated viewer panel replaces the five student viewers of Fig. 14
-// (see DESIGN.md, substitution table). Each simulated viewer scores a skim
+// (one of the documented stand-ins for unavailable human/data resources,
+// like the synthetic corpus itself). Each simulated viewer scores a skim
 // level 0–5 on the paper's three questions from measurable proxies:
 //
 //	Q1 "addresses the main topic"  — coverage of distinct recurring scene

@@ -242,6 +242,11 @@ func (n *node) hashKey(p []float64) cellKey {
 // Search finds the k nearest indexed shots to the query feature (a 266-dim
 // Shot.Feature vector), descending only through the most relevant database
 // units. It returns the ranked results and the §6.2 cost statistics.
+//
+// Search is safe for concurrent use by any number of goroutines: a built
+// Index is immutable, and all mutable search state — the Stats accumulator
+// included — is allocated per call, never shared. The serving layer relies
+// on this to answer queries in parallel against one index snapshot.
 func (ix *Index) Search(query []float64, k int) ([]Result, Stats) {
 	var stats Stats
 	if k <= 0 {

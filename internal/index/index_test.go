@@ -3,6 +3,7 @@ package index
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"classminer/internal/feature"
@@ -252,4 +253,31 @@ func BenchmarkFlatSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		FlatSearch(entries, q, 10)
 	}
+}
+
+// TestConcurrentSearch exercises the documented guarantee that a built
+// index serves any number of goroutines without shared mutable state.
+// Run with -race to make it meaningful.
+func TestConcurrentSearch(t *testing.T) {
+	entries := corpus(240, 5)
+	ix, err := Build(entries, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				q := entries[(w*31+i*7)%len(entries)].Shot.Feature()
+				hits, stats := ix.Search(q, 5)
+				if len(hits) == 0 || stats.DistanceOps <= 0 {
+					t.Errorf("worker %d: hits=%d stats=%+v", w, len(hits), stats)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }

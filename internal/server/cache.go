@@ -1,0 +1,136 @@
+package server
+
+import (
+	"container/list"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"classminer/internal/access"
+)
+
+// cacheKey identifies one search answer. Generation makes invalidation
+// free: when the library or its policy changes, Library.Generation moves
+// and every older entry simply stops being addressable (LRU eviction
+// reclaims it). Identity (clearance + roles) is part of the key because
+// the policy filter makes the same query answer differently per user.
+type cacheKey struct {
+	gen       int64
+	clearance access.Clearance
+	roles     string // sorted, lowercase, "|"-joined
+	qhash     uint64
+	k         int
+}
+
+// cacheEntry retains the full query so a 64-bit hash collision degrades to
+// a miss, never to another query's results.
+type cacheEntry struct {
+	key   cacheKey
+	query []float64
+	resp  searchResponse
+}
+
+// searchCache is a mutex-guarded LRU over recent search responses.
+type searchCache struct {
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List // front = most recently used
+	byKey        map[cacheKey]*list.Element
+	hits, misses int64
+}
+
+// newSearchCache builds a cache holding up to capacity entries;
+// capacity <= 0 disables caching (every lookup misses, Put is a no-op).
+func newSearchCache(capacity int) *searchCache {
+	return &searchCache{cap: capacity, ll: list.New(), byKey: map[cacheKey]*list.Element{}}
+}
+
+// makeKey hashes the query into a cache key for the given identity.
+func makeKey(gen int64, u access.User, query []float64, k int) cacheKey {
+	roles := append([]string(nil), u.Roles...)
+	for i := range roles {
+		roles[i] = strings.ToLower(roles[i])
+	}
+	sort.Strings(roles)
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range query {
+		bits := math.Float64bits(v)
+		for i := range buf {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return cacheKey{
+		gen:       gen,
+		clearance: u.Clearance,
+		roles:     strings.Join(roles, "|"),
+		qhash:     h.Sum64(),
+		k:         k,
+	}
+}
+
+// Get returns the cached response for (key, query), if any.
+func (c *searchCache) Get(key cacheKey, query []float64) (searchResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		e := el.Value.(*cacheEntry)
+		if sameQuery(e.query, query) {
+			c.ll.MoveToFront(el)
+			c.hits++
+			return e.resp, true
+		}
+	}
+	c.misses++
+	return searchResponse{}, false
+}
+
+// Put stores a response, evicting the least recently used entry when full.
+func (c *searchCache) Put(key cacheKey, query []float64, resp searchResponse) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).resp = resp
+		c.ll.MoveToFront(el)
+		return
+	}
+	q := append([]float64(nil), query...)
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, query: q, resp: resp})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func sameQuery(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cacheStats is the /v1/stats slice of the cache.
+type cacheStats struct {
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Entries  int   `json:"entries"`
+	Capacity int   `json:"capacity"`
+}
+
+func (c *searchCache) Stats() cacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return cacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Capacity: c.cap}
+}

@@ -1,0 +1,474 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"classminer"
+	"classminer/internal/concept"
+	"classminer/internal/store"
+	"classminer/internal/synth"
+	"classminer/internal/vidmodel"
+)
+
+// maxBodyBytes bounds request bodies (a SavedResult for a full-scale video
+// is well under this).
+const maxBodyBytes = 32 << 20
+
+// subclusterPath is the concept path of a video's placement, the unit at
+// which browsing endpoints are gated. It is derived from the library's
+// hierarchy so gating always matches the paths policy rules see.
+func (s *Server) subclusterPath(subcluster string) []string {
+	return s.lib.ConceptPath(subcluster)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// --- GET /healthz ----------------------------------------------------------
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// --- GET /v1/stats ---------------------------------------------------------
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"library":   s.lib.Stats(),
+		"cache":     s.cache.Stats(),
+		"ingest":    s.pool.Stats(s.opts.Workers),
+		"uptimeSec": time.Since(s.started).Seconds(),
+		"requests":  s.requests.Load(),
+	})
+}
+
+// --- GET /v1/videos --------------------------------------------------------
+
+type videoSummary struct {
+	Name        string  `json:"name"`
+	Subcluster  string  `json:"subcluster"`
+	Shots       int     `json:"shots"`
+	Scenes      int     `json:"scenes"`
+	DurationSec float64 `json:"durationSec"`
+}
+
+func (s *Server) handleListVideos(w http.ResponseWriter, r *http.Request) {
+	u := userOf(r)
+	videos := []videoSummary{}
+	hidden := 0
+	for _, name := range s.lib.VideoNames() {
+		ve := s.lib.Video(name)
+		if ve == nil {
+			continue // racing a concurrent removal; skip
+		}
+		if !s.lib.Allowed(u, s.subclusterPath(ve.Subcluster)) {
+			hidden++
+			continue
+		}
+		videos = append(videos, videoSummary{
+			Name:        name,
+			Subcluster:  ve.Subcluster,
+			Shots:       len(ve.Result.Shots),
+			Scenes:      len(ve.Result.Scenes),
+			DurationSec: durationSec(ve),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"videos": videos, "hidden": hidden})
+}
+
+// durationSec derives playback length from the skim's frame count (raw
+// frames are not retained for loaded videos).
+func durationSec(ve *classminer.VideoEntry) float64 {
+	if ve.Result.Skim == nil || ve.Result.Video.FPS <= 0 {
+		return 0
+	}
+	return float64(ve.Result.Skim.TotalFrames) / ve.Result.Video.FPS
+}
+
+// --- GET /v1/videos/{name} -------------------------------------------------
+
+type sceneJSON struct {
+	Index      int     `json:"index"`
+	StartFrame int     `json:"startFrame"`
+	EndFrame   int     `json:"endFrame"`
+	StartSec   float64 `json:"startSec"`
+	EndSec     float64 `json:"endSec"`
+	Shots      int     `json:"shots"`
+	Groups     int     `json:"groups"`
+	Event      string  `json:"event"`
+}
+
+type skimLevelJSON struct {
+	Level int     `json:"level"`
+	Shots int     `json:"shots"`
+	FCR   float64 `json:"fcr"`
+}
+
+func (s *Server) handleVideoDetail(w http.ResponseWriter, r *http.Request, name string) {
+	ve := s.lib.Video(name)
+	if ve == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no video %q", name))
+		return
+	}
+	u := userOf(r)
+	if !s.lib.Allowed(u, s.subclusterPath(ve.Subcluster)) {
+		writeError(w, http.StatusForbidden, fmt.Sprintf("subcluster %q not accessible", ve.Subcluster))
+		return
+	}
+	res := ve.Result
+	fps := res.Video.FPS
+	scenes := []sceneJSON{}
+	hidden := 0
+	for _, sc := range res.Scenes {
+		leaf := concept.SceneConcept(ve.Subcluster, sc.Event)
+		if !s.lib.Allowed(u, append(s.subclusterPath(ve.Subcluster), leaf)) {
+			hidden++
+			continue
+		}
+		first, last := sc.FrameSpan()
+		scenes = append(scenes, sceneJSON{
+			Index: sc.Index, StartFrame: first, EndFrame: last,
+			StartSec: frameSec(first, fps), EndSec: frameSec(last, fps),
+			Shots: sc.ShotCount(), Groups: len(sc.Groups), Event: sc.Event.String(),
+		})
+	}
+	var skims []skimLevelJSON
+	if res.Skim != nil {
+		for l := classminer.SkimLevel1; l <= classminer.SkimLevel4; l++ {
+			skims = append(skims, skimLevelJSON{
+				Level: int(l), Shots: len(res.Skim.Shots(l)), FCR: res.Skim.FCR(l),
+			})
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":         name,
+		"subcluster":   ve.Subcluster,
+		"fps":          fps,
+		"durationSec":  durationSec(ve),
+		"summary":      res.Summary(),
+		"shots":        len(res.Shots),
+		"groups":       len(res.Groups),
+		"clusters":     len(res.Clusters),
+		"scenes":       scenes,
+		"scenesHidden": hidden,
+		"skim":         skims,
+	})
+}
+
+func frameSec(frame int, fps float64) float64 {
+	if fps <= 0 {
+		return 0
+	}
+	return float64(frame) / fps
+}
+
+// --- POST /v1/search -------------------------------------------------------
+
+type searchRequest struct {
+	// Query is a raw shot feature vector (query by example).
+	Query []float64 `json:"query,omitempty"`
+	// Video/Shot instead name an indexed shot to use as the example.
+	Video string `json:"video,omitempty"`
+	Shot  int    `json:"shot,omitempty"`
+	K     int    `json:"k,omitempty"`
+}
+
+type searchHit struct {
+	Video   string   `json:"video"`
+	Shot    int      `json:"shot"`
+	Start   int      `json:"start"`
+	End     int      `json:"end"`
+	Concept string   `json:"concept"`
+	Path    []string `json:"path"`
+	Dist    float64  `json:"dist"`
+}
+
+type searchResponse struct {
+	Hits   []searchHit            `json:"hits"`
+	Stats  classminer.SearchStats `json:"stats"`
+	K      int                    `json:"k"`
+	Cached bool                   `json:"cached"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	u := userOf(r)
+	query := req.Query
+	if req.Video != "" {
+		ve := s.lib.Video(req.Video)
+		if ve == nil {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("no video %q", req.Video))
+			return
+		}
+		if !s.lib.Allowed(u, s.subclusterPath(ve.Subcluster)) {
+			writeError(w, http.StatusForbidden, fmt.Sprintf("subcluster %q not accessible", ve.Subcluster))
+			return
+		}
+		if req.Shot < 0 || req.Shot >= len(ve.Result.Shots) {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("video %q has %d shots", req.Video, len(ve.Result.Shots)))
+			return
+		}
+		query = ve.Result.Shots[req.Shot].Feature()
+	}
+	if len(query) == 0 {
+		writeError(w, http.StatusBadRequest, "provide either query (feature vector) or video+shot")
+		return
+	}
+	if want := s.featureDim(); want > 0 && len(query) != want {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("query has %d dims, want %d", len(query), want))
+		return
+	}
+	k := req.K
+	if k <= 0 {
+		k = 10
+	}
+	if k > 100 {
+		k = 100
+	}
+	key := makeKey(s.lib.Generation(), u, query, k)
+	if resp, ok := s.cache.Get(key, query); ok {
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	hits, stats, err := s.lib.Search(u, query, k)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	resp := searchResponse{Hits: make([]searchHit, 0, len(hits)), Stats: stats, K: k}
+	for _, h := range hits {
+		concept := ""
+		if n := len(h.Entry.Path); n > 0 {
+			concept = h.Entry.Path[n-1]
+		}
+		resp.Hits = append(resp.Hits, searchHit{
+			Video: h.Entry.VideoName, Shot: h.Entry.Shot.Index,
+			Start: h.Entry.Shot.Start, End: h.Entry.Shot.End,
+			Concept: concept, Path: h.Entry.Path, Dist: h.Dist,
+		})
+	}
+	s.cache.Put(key, query, resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// featureDim returns the library's shot-feature dimensionality (0 when no
+// video is registered yet). The dimensionality is a constant of the
+// feature extractor, so the first successful resolution is cached and the
+// per-library scan never runs again on the hot search path.
+func (s *Server) featureDim() int {
+	if d := s.featDim.Load(); d > 0 {
+		return int(d)
+	}
+	for _, name := range s.lib.VideoNames() {
+		if ve := s.lib.Video(name); ve != nil && len(ve.Result.Shots) > 0 {
+			d := len(ve.Result.Shots[0].Feature())
+			s.featDim.Store(int64(d))
+			return d
+		}
+	}
+	return 0
+}
+
+// --- GET /v1/events/{kind} -------------------------------------------------
+
+// parseEventKind accepts the String() spellings plus natural aliases.
+func parseEventKind(s string) (vidmodel.EventKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "presentation":
+		return vidmodel.EventPresentation, nil
+	case "dialog", "dialogue":
+		return vidmodel.EventDialog, nil
+	case "clinical-operation", "clinical operation", "clinical", "operation":
+		return vidmodel.EventClinicalOperation, nil
+	}
+	return vidmodel.EventUnknown, fmt.Errorf("unknown event kind %q (want presentation, dialog or clinical-operation)", s)
+}
+
+type eventSceneJSON struct {
+	Video      string  `json:"video"`
+	Scene      int     `json:"scene"`
+	StartFrame int     `json:"startFrame"`
+	EndFrame   int     `json:"endFrame"`
+	StartSec   float64 `json:"startSec"`
+	EndSec     float64 `json:"endSec"`
+	Shots      int     `json:"shots"`
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request, kindName string) {
+	kind, err := parseEventKind(kindName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	refs := s.lib.ScenesByEvent(userOf(r), kind)
+	scenes := []eventSceneJSON{}
+	for _, ref := range refs {
+		fps := 0.0
+		if ve := s.lib.Video(ref.VideoName); ve != nil {
+			fps = ve.Result.Video.FPS
+		}
+		first, last := ref.Scene.FrameSpan()
+		scenes = append(scenes, eventSceneJSON{
+			Video: ref.VideoName, Scene: ref.Scene.Index,
+			StartFrame: first, EndFrame: last,
+			StartSec: frameSec(first, fps), EndSec: frameSec(last, fps),
+			Shots: ref.Scene.ShotCount(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"kind": kind.String(), "scenes": scenes})
+}
+
+// --- POST /v1/videos (async ingestion) -------------------------------------
+
+type ingestRequest struct {
+	// Subcluster places the video in the concept hierarchy (required).
+	Subcluster string `json:"subcluster"`
+	// Corpus names a synthetic corpus script to mine (with Scale and Seed).
+	Corpus string  `json:"corpus,omitempty"`
+	Scale  float64 `json:"scale,omitempty"`
+	Seed   int64   `json:"seed,omitempty"`
+	// Saved instead supplies an already-mined result to load as-is.
+	Saved *store.SavedResult `json:"saved,omitempty"`
+	// Name overrides the registered video name.
+	Name string `json:"name,omitempty"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !s.requireClearance(w, r, s.opts.IngestClearance) {
+		return
+	}
+	var req ingestRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Subcluster == "" || !s.lib.HasSubcluster(req.Subcluster) {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown subcluster %q", req.Subcluster))
+		return
+	}
+	if (req.Corpus == "") == (req.Saved == nil) {
+		writeError(w, http.StatusBadRequest, "provide exactly one of corpus or saved")
+		return
+	}
+	name := req.Name
+	switch {
+	case req.Corpus != "":
+		if synth.CorpusScript(req.Corpus, 1, 1) == nil {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("unknown corpus video %q (have %v)", req.Corpus, synth.CorpusNames()))
+			return
+		}
+		if name == "" {
+			name = req.Corpus
+		}
+	default:
+		if name == "" {
+			name = req.Saved.VideoName
+		}
+		if name == "" {
+			writeError(w, http.StatusBadRequest, "saved result has no video name")
+			return
+		}
+	}
+	if s.lib.Video(name) != nil {
+		writeError(w, http.StatusConflict, fmt.Sprintf("video %q already registered", name))
+		return
+	}
+	job := &Job{Video: name, Subcluster: req.Subcluster, req: req}
+	if err := s.pool.Submit(job); err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	s.opts.Logf("job %s: queued ingest of %q into %q", job.ID, name, req.Subcluster)
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, s.pool.Get(job.ID))
+}
+
+// runJob executes one ingestion on a pool worker: mine (or decode) the
+// video, register it, and rebuild the index copy-on-write so concurrent
+// queries never notice.
+func (s *Server) runJob(j *Job) {
+	err := func() error {
+		if j.req.Saved != nil {
+			res, err := store.DecodeResult(j.req.Saved)
+			if err != nil {
+				return err
+			}
+			res.Video.Name = j.Video
+			return s.lib.AddResult(res, j.Subcluster)
+		}
+		scale := j.req.Scale
+		if scale <= 0 {
+			scale = 0.5
+		}
+		seed := j.req.Seed
+		if seed == 0 {
+			seed = 2003
+		}
+		script := synth.CorpusScript(j.req.Corpus, scale, seed)
+		if script == nil {
+			return fmt.Errorf("unknown corpus video %q", j.req.Corpus)
+		}
+		v, err := synth.Generate(synth.DefaultConfig(), script, seed)
+		if err != nil {
+			return err
+		}
+		v.Name = j.Video
+		_, err = s.lib.AddVideo(v, j.Subcluster)
+		return err
+	}()
+	if err == nil {
+		err = s.lib.BuildIndex()
+	}
+	if err != nil {
+		s.opts.Logf("job %s: failed: %v", j.ID, err)
+		s.pool.Fail(j, err)
+		return
+	}
+	s.opts.Logf("job %s: ingested %q into %q", j.ID, j.Video, j.Subcluster)
+}
+
+// --- GET /v1/jobs/{id} -----------------------------------------------------
+
+func (s *Server) handleJob(w http.ResponseWriter, _ *http.Request, id string) {
+	j := s.pool.Get(id)
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+// --- POST /v1/admin/save ---------------------------------------------------
+
+func (s *Server) handleAdminSave(w http.ResponseWriter, r *http.Request) {
+	if !s.requireClearance(w, r, classminer.Administrator) {
+		return
+	}
+	if s.opts.SnapshotPath == "" {
+		writeError(w, http.StatusNotImplemented, "no snapshot path configured")
+		return
+	}
+	if err := store.WriteFileAtomic(s.opts.SnapshotPath, s.lib.Save); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	s.opts.Logf("library snapshot saved to %s", s.opts.SnapshotPath)
+	writeJSON(w, http.StatusOK, map[string]string{"saved": s.opts.SnapshotPath})
+}

@@ -1,0 +1,128 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime/debug"
+	"strings"
+	"time"
+
+	"classminer/internal/access"
+)
+
+// userKey carries the authenticated user through the request context.
+type userKeyT struct{}
+
+var userKey userKeyT
+
+// userOf returns the authenticated user installed by withAuth.
+func userOf(r *http.Request) access.User {
+	u, _ := r.Context().Value(userKey).(access.User)
+	return u
+}
+
+// token extracts the request's credential: "Authorization: Bearer <tok>"
+// wins, then the X-Api-Token header. Empty string means unauthenticated.
+func token(r *http.Request) string {
+	if h := r.Header.Get("Authorization"); h != "" {
+		if tok, ok := strings.CutPrefix(h, "Bearer "); ok {
+			return strings.TrimSpace(tok)
+		}
+		return h // a malformed header still fails the lookup below
+	}
+	return r.Header.Get("X-Api-Token")
+}
+
+// withAuth maps the request token to an access.User and stores it in the
+// context — the paper's multilevel access control as middleware. Every
+// downstream policy check (search filtering, scene queries, admin gates)
+// keys off this identity. /healthz stays open for liveness probes.
+func (s *Server) withAuth(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Match the route normalisation ("/healthz/" serves health too) so
+		// liveness probes never need credentials in any spelling.
+		if strings.TrimSuffix(r.URL.Path, "/") == "/healthz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		tok := token(r)
+		var u access.User
+		switch {
+		case tok == "" && s.opts.Anonymous != nil:
+			u = *s.opts.Anonymous
+		case tok == "":
+			writeError(w, http.StatusUnauthorized, "credentials required (Bearer token or X-Api-Token)")
+			return
+		default:
+			known, ok := s.opts.Tokens[tok]
+			if !ok {
+				writeError(w, http.StatusUnauthorized, "unknown token")
+				return
+			}
+			u = known
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), userKey, u)))
+	})
+}
+
+// requireClearance enforces a minimum clearance on an endpoint (above and
+// beyond the per-result policy filtering). It writes the 403 itself and
+// reports whether the request may proceed.
+func (s *Server) requireClearance(w http.ResponseWriter, r *http.Request, min access.Clearance) bool {
+	if u := userOf(r); u.Clearance < min {
+		writeError(w, http.StatusForbidden,
+			"clearance "+u.Clearance.String()+" below required "+min.String())
+		return false
+	}
+	return true
+}
+
+// statusWriter records the response code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.status = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// withLogging emits one line per request.
+func (s *Server) withLogging(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		s.opts.Logf("%s %s -> %d (%s)", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+	})
+}
+
+// withRecovery turns a handler panic into a 500 instead of killing the
+// connection (and, under http.Server, spamming the log with a stack only).
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if v := recover(); v != nil {
+				s.opts.Logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				writeError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,186 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobStatus is an ingest job's lifecycle state.
+type JobStatus string
+
+const (
+	JobQueued  JobStatus = "queued"
+	JobRunning JobStatus = "running"
+	JobDone    JobStatus = "done"
+	JobFailed  JobStatus = "failed"
+)
+
+// Job is one asynchronous ingestion: either a synthetic corpus script to
+// mine or a stored mining result to load. Mining is minutes of CPU at full
+// scale, far too slow for a request/response cycle, so POST /v1/videos
+// queues a Job and returns 202 with its ID.
+type Job struct {
+	ID         string    `json:"id"`
+	Status     JobStatus `json:"status"`
+	Video      string    `json:"video,omitempty"`
+	Subcluster string    `json:"subcluster"`
+	Error      string    `json:"error,omitempty"`
+	Created    time.Time `json:"created"`
+	Started    time.Time `json:"started,omitempty"`
+	Finished   time.Time `json:"finished,omitempty"`
+
+	// payload, set by the ingest handler, consumed by Server.runJob.
+	req ingestRequest
+}
+
+// ErrQueueFull is returned by Submit when the pending queue is at depth;
+// the HTTP layer maps it to 503 so uploads shed load instead of blocking
+// query traffic.
+var ErrQueueFull = errors.New("server: ingest queue full")
+
+var errPoolClosed = errors.New("server: ingest pool closed")
+
+// ingestPool runs jobs on a fixed set of workers with a bounded queue.
+type ingestPool struct {
+	queue chan *Job
+	run   func(*Job)
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	byID   map[string]*Job
+	seq    int
+	closed bool
+	counts struct{ queued, running, done, failed int }
+}
+
+// newIngestPool starts workers goroutines consuming a queue of the given
+// depth; run performs one job (status transitions are handled here).
+func newIngestPool(workers, depth int, run func(*Job)) *ingestPool {
+	p := &ingestPool{
+		queue: make(chan *Job, depth),
+		run:   run,
+		byID:  map[string]*Job{},
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *ingestPool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		p.transition(j, JobRunning, "")
+		p.run(j)
+		// run reports failure by setting j.Error under the pool lock via
+		// Fail; anything still running at this point succeeded.
+		p.mu.Lock()
+		status := j.Status
+		p.mu.Unlock()
+		if status == JobRunning {
+			p.transition(j, JobDone, "")
+		}
+	}
+}
+
+// Submit registers and enqueues a job, assigning its ID. The non-blocking
+// send happens under the same lock as the closed check: Close also takes
+// the lock before closing the channel, so Submit can never send on (or
+// race with) a closed queue.
+func (p *ingestPool) Submit(j *Job) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errPoolClosed
+	}
+	p.seq++
+	j.ID = fmt.Sprintf("job-%d", p.seq)
+	j.Status = JobQueued
+	j.Created = time.Now()
+	select {
+	case p.queue <- j:
+		p.byID[j.ID] = j
+		p.counts.queued++
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// Fail marks the job failed with the given error; called from run.
+func (p *ingestPool) Fail(j *Job, err error) { p.transition(j, JobFailed, err.Error()) }
+
+// transition moves a job between states, keeping the counters consistent.
+func (p *ingestPool) transition(j *Job, to JobStatus, errMsg string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch j.Status {
+	case JobQueued:
+		p.counts.queued--
+	case JobRunning:
+		p.counts.running--
+	}
+	j.Status = to
+	j.Error = errMsg
+	now := time.Now()
+	switch to {
+	case JobRunning:
+		j.Started = now
+		p.counts.running++
+	case JobDone:
+		j.Finished = now
+		p.counts.done++
+	case JobFailed:
+		j.Finished = now
+		p.counts.failed++
+	}
+}
+
+// Get returns a snapshot of the job by ID (nil when unknown). The copy is
+// taken under the lock so callers never observe a half-written transition.
+func (p *ingestPool) Get(id string) *Job {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	j, ok := p.byID[id]
+	if !ok {
+		return nil
+	}
+	cp := *j
+	return &cp
+}
+
+// Close stops accepting jobs and waits for in-flight ones to finish.
+func (p *ingestPool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.queue)
+	p.wg.Wait()
+}
+
+// poolStats is the /v1/stats slice of the ingest pool.
+type poolStats struct {
+	Queued        int `json:"queued"`
+	Running       int `json:"running"`
+	Done          int `json:"done"`
+	Failed        int `json:"failed"`
+	Workers       int `json:"workers"`
+	QueueCapacity int `json:"queueCapacity"`
+}
+
+func (p *ingestPool) Stats(workers int) poolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return poolStats{
+		Queued: p.counts.queued, Running: p.counts.running,
+		Done: p.counts.done, Failed: p.counts.failed,
+		Workers: workers, QueueCapacity: cap(p.queue),
+	}
+}

@@ -1,0 +1,165 @@
+// Package server is the online half of the paper's thesis: mined content
+// structure exists so a hospital-scale video database can be indexed,
+// managed and *accessed* efficiently (§2, §6). It wraps a classminer.Library
+// in a concurrent HTTP/JSON API — content-hierarchy browsing, k-NN shot
+// search through the hierarchical index (with the Eq. 24/25 cost statistics
+// in every response), mined-event scene queries, and asynchronous ingestion
+// — with the paper's multilevel access control enforced as authentication
+// middleware on every request.
+//
+// Concurrency model: queries run lock-free against the library's current
+// index snapshot (copy-on-write, see Library.BuildIndex); ingestion runs in
+// a bounded worker pool so uploads never block queries; repeated searches
+// are answered from a generation-keyed LRU cache that self-invalidates
+// whenever the library or its access policy changes.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"classminer"
+	"classminer/internal/access"
+)
+
+// Options configures a Server. The zero value serves anonymously at Public
+// clearance with a small cache and one ingest worker.
+type Options struct {
+	// Tokens maps bearer-token values to the users they authenticate
+	// (presented as "Authorization: Bearer <token>" or "X-Api-Token").
+	Tokens map[string]access.User
+	// Anonymous, when non-nil, is the user assumed for requests that carry
+	// no token. When nil, unauthenticated requests (except /healthz) get 401.
+	Anonymous *access.User
+	// IngestClearance is the least clearance allowed to POST new videos
+	// (default Clinician).
+	IngestClearance access.Clearance
+	// CacheSize bounds the search LRU cache (default 256; negative disables).
+	CacheSize int
+	// Workers is the ingest pool size (default 1).
+	Workers int
+	// QueueDepth bounds pending ingest jobs (default 8); a full queue
+	// returns 503 rather than blocking the request.
+	QueueDepth int
+	// SnapshotPath is where POST /v1/admin/save checkpoints the library
+	// ("" disables the endpoint).
+	SnapshotPath string
+	// Logf receives one line per request and per job transition (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.IngestClearance == 0 {
+		o.IngestClearance = access.Clinician
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 256
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Server is the HTTP face of one Library. Create with New, serve with any
+// http.Server, and Close when done to drain the ingest pool.
+type Server struct {
+	lib      *classminer.Library
+	opts     Options
+	cache    *searchCache
+	pool     *ingestPool
+	handler  http.Handler
+	started  time.Time
+	requests atomic.Int64
+	featDim  atomic.Int64 // cached shot-feature dimensionality (0 = unresolved)
+}
+
+// New builds a Server over lib and starts its ingest workers.
+func New(lib *classminer.Library, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		lib:     lib,
+		opts:    opts,
+		cache:   newSearchCache(opts.CacheSize),
+		started: time.Now(),
+	}
+	s.pool = newIngestPool(opts.Workers, opts.QueueDepth, s.runJob)
+	s.handler = s.withRecovery(s.withLogging(s.withAuth(http.HandlerFunc(s.route))))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.handler.ServeHTTP(w, r)
+}
+
+// Close stops accepting ingest jobs and waits for running ones to finish.
+func (s *Server) Close() { s.pool.Close() }
+
+// route dispatches by hand: the declared module version predates pattern
+// ServeMux, and the API is small enough that explicit paths read better.
+func (s *Server) route(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimSuffix(r.URL.Path, "/")
+	if path == "" {
+		path = "/"
+	}
+	switch {
+	case path == "/healthz":
+		s.handleHealth(w, r)
+	case path == "/v1/stats":
+		s.get(w, r, s.handleStats)
+	case path == "/v1/videos":
+		switch r.Method {
+		case http.MethodGet:
+			s.handleListVideos(w, r)
+		case http.MethodPost:
+			s.handleIngest(w, r)
+		default:
+			writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		}
+	case strings.HasPrefix(path, "/v1/videos/"):
+		s.get(w, r, func(w http.ResponseWriter, r *http.Request) {
+			s.handleVideoDetail(w, r, strings.TrimPrefix(path, "/v1/videos/"))
+		})
+	case path == "/v1/search":
+		s.post(w, r, s.handleSearch)
+	case strings.HasPrefix(path, "/v1/events/"):
+		s.get(w, r, func(w http.ResponseWriter, r *http.Request) {
+			s.handleEvents(w, r, strings.TrimPrefix(path, "/v1/events/"))
+		})
+	case strings.HasPrefix(path, "/v1/jobs/"):
+		s.get(w, r, func(w http.ResponseWriter, r *http.Request) {
+			s.handleJob(w, r, strings.TrimPrefix(path, "/v1/jobs/"))
+		})
+	case path == "/v1/admin/save":
+		s.post(w, r, s.handleAdminSave)
+	default:
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no route %s", r.URL.Path))
+	}
+}
+
+func (s *Server) get(w http.ResponseWriter, r *http.Request, h http.HandlerFunc) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	h(w, r)
+}
+
+func (s *Server) post(w http.ResponseWriter, r *http.Request, h http.HandlerFunc) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	h(w, r)
+}

@@ -1,0 +1,475 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"classminer"
+	"classminer/internal/access"
+	"classminer/internal/store"
+	"classminer/internal/synth"
+)
+
+// Shared fixture: one mined corpus video behind a protected clinical leaf.
+var (
+	fixOnce sync.Once
+	fixLib  *classminer.Library
+	fixErr  error
+)
+
+func fixtureLibrary(t testing.TB) *classminer.Library {
+	t.Helper()
+	fixOnce.Do(func() {
+		a, err := classminer.NewAnalyzer(classminer.Options{})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		fixLib = classminer.NewLibrary(a)
+		// scale 0.2 / seed 11 mines at least one dialog and one clinical
+		// scene, which the events and policy-filter tests depend on.
+		script := synth.CorpusScript("laparoscopy", 0.2, 11)
+		v, err := synth.Generate(synth.DefaultConfig(), script, 11)
+		if err != nil {
+			fixErr = err
+			return
+		}
+		if _, err := fixLib.AddVideo(v, "medicine"); err != nil {
+			fixErr = err
+			return
+		}
+		fixLib.Protect(classminer.Rule{
+			Concept: "medicine/clinical operation", MinClearance: classminer.Clinician,
+		})
+		fixErr = fixLib.BuildIndex()
+	})
+	if fixErr != nil {
+		t.Fatal(fixErr)
+	}
+	return fixLib
+}
+
+func testTokens() map[string]access.User {
+	return map[string]access.User{
+		"pub-tok":   {Name: "visitor", Clearance: access.Public},
+		"clin-tok":  {Name: "dr.lee", Clearance: access.Clinician, Roles: []string{"surgeon"}},
+		"admin-tok": {Name: "root", Clearance: access.Administrator},
+	}
+}
+
+func newTestServer(t testing.TB, opts Options) *Server {
+	t.Helper()
+	if opts.Tokens == nil {
+		opts.Tokens = testTokens()
+	}
+	s := New(fixtureLibrary(t), opts)
+	t.Cleanup(s.Close)
+	return s
+}
+
+// do runs one request through the full middleware stack and decodes the
+// JSON response into out (when non-nil).
+func do(t testing.TB, s *Server, method, path, token string, body, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := httptest.NewRequest(method, path, &buf)
+	if token != "" {
+		r.Header.Set("X-Api-Token", token)
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if out != nil && w.Body.Len() > 0 {
+		if err := json.Unmarshal(w.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, path, w.Body.String(), err)
+		}
+	}
+	return w.Code
+}
+
+func TestHealthzNeedsNoAuth(t *testing.T) {
+	s := newTestServer(t, Options{}) // no Anonymous: everything else is 401
+	var resp map[string]any
+	if code := do(t, s, http.MethodGet, "/healthz", "", nil, &resp); code != http.StatusOK {
+		t.Fatalf("healthz = %d", code)
+	}
+	if resp["status"] != "ok" {
+		t.Fatalf("resp = %v", resp)
+	}
+	if code := do(t, s, http.MethodGet, "/v1/videos", "", nil, nil); code != http.StatusUnauthorized {
+		t.Fatalf("unauthenticated list = %d, want 401", code)
+	}
+	if code := do(t, s, http.MethodGet, "/v1/videos", "bogus", nil, nil); code != http.StatusUnauthorized {
+		t.Fatalf("unknown token = %d, want 401", code)
+	}
+}
+
+func TestAuthDenialIs403(t *testing.T) {
+	anon := access.User{Name: "anon", Clearance: access.Public}
+	s := newTestServer(t, Options{Anonymous: &anon, SnapshotPath: filepath.Join(t.TempDir(), "lib.json")})
+	// Admin endpoint: authenticated but under-cleared users get 403.
+	for _, tok := range []string{"", "pub-tok", "clin-tok"} {
+		if code := do(t, s, http.MethodPost, "/v1/admin/save", tok, nil, nil); code != http.StatusForbidden {
+			t.Fatalf("save as %q = %d, want 403", tok, code)
+		}
+	}
+	// Ingestion requires Clinician.
+	body := map[string]any{"corpus": "face-repair", "subcluster": "medicine"}
+	if code := do(t, s, http.MethodPost, "/v1/videos", "pub-tok", body, nil); code != http.StatusForbidden {
+		t.Fatalf("ingest as public = %d, want 403", code)
+	}
+}
+
+func TestUnknownVideoIs404(t *testing.T) {
+	anon := access.User{Name: "anon", Clearance: access.Administrator}
+	s := newTestServer(t, Options{Anonymous: &anon})
+	var resp map[string]string
+	if code := do(t, s, http.MethodGet, "/v1/videos/colonoscopy", "", nil, &resp); code != http.StatusNotFound {
+		t.Fatalf("detail = %d, want 404", code)
+	}
+	if resp["error"] == "" {
+		t.Fatal("404 carries no error message")
+	}
+	if code := do(t, s, http.MethodGet, "/v1/jobs/job-99", "", nil, nil); code != http.StatusNotFound {
+		t.Fatal("unknown job must 404")
+	}
+	if code := do(t, s, http.MethodGet, "/v1/nope", "", nil, nil); code != http.StatusNotFound {
+		t.Fatal("unknown route must 404")
+	}
+}
+
+func TestVideoListAndDetail(t *testing.T) {
+	s := newTestServer(t, Options{})
+	var list struct {
+		Videos []videoSummary `json:"videos"`
+	}
+	if code := do(t, s, http.MethodGet, "/v1/videos", "admin-tok", nil, &list); code != http.StatusOK {
+		t.Fatalf("list = %d", code)
+	}
+	// The fixture library is shared across tests; other tests may have
+	// ingested more videos, but laparoscopy is always there.
+	var lap *videoSummary
+	for i := range list.Videos {
+		if list.Videos[i].Name == "laparoscopy" {
+			lap = &list.Videos[i]
+		}
+	}
+	if lap == nil {
+		t.Fatalf("laparoscopy missing from %+v", list.Videos)
+	}
+	if lap.Shots == 0 || lap.DurationSec <= 0 || lap.Subcluster != "medicine" {
+		t.Fatalf("empty summary: %+v", lap)
+	}
+
+	var detail struct {
+		Name         string          `json:"name"`
+		Scenes       []sceneJSON     `json:"scenes"`
+		ScenesHidden int             `json:"scenesHidden"`
+		Skim         []skimLevelJSON `json:"skim"`
+	}
+	if code := do(t, s, http.MethodGet, "/v1/videos/laparoscopy", "admin-tok", nil, &detail); code != http.StatusOK {
+		t.Fatalf("detail = %d", code)
+	}
+	if len(detail.Scenes) == 0 || len(detail.Skim) != 4 {
+		t.Fatalf("detail = %+v", detail)
+	}
+	adminScenes := len(detail.Scenes)
+
+	// The clinical leaf is protected: a public viewer sees fewer scenes.
+	var pubDetail struct {
+		Scenes       []sceneJSON `json:"scenes"`
+		ScenesHidden int         `json:"scenesHidden"`
+	}
+	if code := do(t, s, http.MethodGet, "/v1/videos/laparoscopy", "pub-tok", nil, &pubDetail); code != http.StatusOK {
+		t.Fatalf("public detail = %d", code)
+	}
+	if pubDetail.ScenesHidden == 0 {
+		t.Skip("no clinical scenes mined at this corpus scale")
+	}
+	if len(pubDetail.Scenes)+pubDetail.ScenesHidden != adminScenes {
+		t.Fatalf("public sees %d + %d hidden, admin sees %d",
+			len(pubDetail.Scenes), pubDetail.ScenesHidden, adminScenes)
+	}
+}
+
+func TestSearchRoundTripAndCache(t *testing.T) {
+	s := newTestServer(t, Options{})
+	req := map[string]any{"video": "laparoscopy", "shot": 0, "k": 5}
+	var first searchResponse
+	if code := do(t, s, http.MethodPost, "/v1/search", "admin-tok", req, &first); code != http.StatusOK {
+		t.Fatalf("search = %d", code)
+	}
+	if len(first.Hits) == 0 || first.Cached {
+		t.Fatalf("first search: %+v", first)
+	}
+	if first.Stats.DistanceOps <= 0 || first.Stats.Candidates <= 0 {
+		t.Fatalf("missing cost stats: %+v", first.Stats)
+	}
+	// Query by example must find the example itself first.
+	if h := first.Hits[0]; h.Video != "laparoscopy" || h.Dist > 1e-9 {
+		t.Fatalf("top hit = %+v", h)
+	}
+	var second searchResponse
+	do(t, s, http.MethodPost, "/v1/search", "admin-tok", req, &second)
+	if !second.Cached {
+		t.Fatal("identical repeat query not served from cache")
+	}
+	if len(second.Hits) != len(first.Hits) {
+		t.Fatalf("cached hits %d != %d", len(second.Hits), len(first.Hits))
+	}
+	// A different identity must not share the cache entry (policy filters
+	// differ), and mutating the policy must invalidate cached answers.
+	var other searchResponse
+	do(t, s, http.MethodPost, "/v1/search", "clin-tok", req, &other)
+	if other.Cached {
+		t.Fatal("cache leaked across identities")
+	}
+	s.lib.Protect(classminer.Rule{Concept: "medicine/other", MinClearance: access.Student})
+	var third searchResponse
+	do(t, s, http.MethodPost, "/v1/search", "admin-tok", req, &third)
+	if third.Cached {
+		t.Fatal("generation bump did not invalidate cache")
+	}
+
+	// Malformed queries are 400s.
+	if code := do(t, s, http.MethodPost, "/v1/search", "admin-tok", map[string]any{"k": 3}, nil); code != http.StatusBadRequest {
+		t.Fatalf("empty query = %d, want 400", code)
+	}
+	bad := map[string]any{"query": []float64{1, 2, 3}}
+	if code := do(t, s, http.MethodPost, "/v1/search", "admin-tok", bad, nil); code != http.StatusBadRequest {
+		t.Fatalf("wrong dims = %d, want 400", code)
+	}
+	if code := do(t, s, http.MethodPost, "/v1/search", "admin-tok", map[string]any{"video": "nope"}, nil); code != http.StatusNotFound {
+		t.Fatal("search by unknown video must 404")
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	s := newTestServer(t, Options{})
+	var resp struct {
+		Kind   string           `json:"kind"`
+		Scenes []eventSceneJSON `json:"scenes"`
+	}
+	if code := do(t, s, http.MethodGet, "/v1/events/dialog", "admin-tok", nil, &resp); code != http.StatusOK {
+		t.Fatalf("events = %d", code)
+	}
+	if resp.Kind != "dialog" {
+		t.Fatalf("kind = %q", resp.Kind)
+	}
+	for _, sc := range resp.Scenes {
+		if sc.Video == "" || sc.EndFrame <= sc.StartFrame {
+			t.Fatalf("bad scene ref: %+v", sc)
+		}
+	}
+	// The protected clinical category is invisible to a public viewer.
+	var pub struct {
+		Scenes []eventSceneJSON `json:"scenes"`
+	}
+	do(t, s, http.MethodGet, "/v1/events/clinical-operation", "pub-tok", nil, &pub)
+	if len(pub.Scenes) != 0 {
+		t.Fatalf("public sees %d protected clinical scenes", len(pub.Scenes))
+	}
+	if code := do(t, s, http.MethodGet, "/v1/events/opera", "admin-tok", nil, nil); code != http.StatusBadRequest {
+		t.Fatal("unknown kind must 400")
+	}
+}
+
+func TestIngestSavedResultAsync(t *testing.T) {
+	s := newTestServer(t, Options{})
+	ve := s.lib.Video("laparoscopy")
+	saved, err := store.EncodeResult(ve.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.lib.Stats()
+
+	var job Job
+	body := map[string]any{"saved": saved, "subcluster": "nursing", "name": "lap-mirror"}
+	if code := do(t, s, http.MethodPost, "/v1/videos", "clin-tok", body, &job); code != http.StatusAccepted {
+		t.Fatalf("ingest = %d", code)
+	}
+	if job.ID == "" {
+		t.Fatalf("job = %+v", job)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st Job
+		if code := do(t, s, http.MethodGet, "/v1/jobs/"+job.ID, "clin-tok", nil, &st); code != http.StatusOK {
+			t.Fatalf("job poll = %d", code)
+		}
+		if st.Status == JobDone {
+			break
+		}
+		if st.Status == JobFailed {
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	after := s.lib.Stats()
+	if after.Videos != before.Videos+1 || after.IndexedShots <= before.IndexedShots {
+		t.Fatalf("before %+v after %+v", before, after)
+	}
+	if after.IndexStale {
+		t.Fatal("index left stale after ingest")
+	}
+	if code := do(t, s, http.MethodGet, "/v1/videos/lap-mirror", "clin-tok", nil, nil); code != http.StatusOK {
+		t.Fatal("ingested video not served")
+	}
+	// Duplicate names are rejected synchronously.
+	if code := do(t, s, http.MethodPost, "/v1/videos", "clin-tok", body, nil); code != http.StatusConflict {
+		t.Fatal("duplicate ingest must 409")
+	}
+	// Validation failures are synchronous 400s.
+	for _, bad := range []map[string]any{
+		{"subcluster": "astrology", "corpus": "laparoscopy"},
+		// A real concept that is not a subcluster: placement there would
+		// escape the protection subtrees, so it must be rejected too.
+		{"subcluster": "health care", "corpus": "laparoscopy"},
+		{"subcluster": "medicine/dialog", "corpus": "laparoscopy"},
+		{"subcluster": "medicine"},
+		{"subcluster": "medicine", "corpus": "laparoscopy", "saved": saved},
+		{"subcluster": "medicine", "corpus": "home-movies"},
+	} {
+		if code := do(t, s, http.MethodPost, "/v1/videos", "clin-tok", bad, nil); code != http.StatusBadRequest {
+			t.Fatalf("bad ingest %v = %d, want 400", bad, code)
+		}
+	}
+}
+
+func TestAdminSaveWritesLoadableSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.json")
+	s := newTestServer(t, Options{SnapshotPath: path})
+	var resp map[string]string
+	if code := do(t, s, http.MethodPost, "/v1/admin/save", "admin-tok", nil, &resp); code != http.StatusOK {
+		t.Fatalf("save = %d (%v)", code, resp)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	a, err := classminer.NewAnalyzer(classminer.Options{SkipEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := classminer.LoadLibrary(f, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Stats().Videos == 0 {
+		t.Fatal("snapshot empty")
+	}
+
+	noPath := newTestServer(t, Options{})
+	if code := do(t, noPath, http.MethodPost, "/v1/admin/save", "admin-tok", nil, nil); code != http.StatusNotImplemented {
+		t.Fatal("save without a snapshot path must 501")
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	s := newTestServer(t, Options{})
+	// Warm the cache so hit/miss counters are meaningful.
+	req := map[string]any{"video": "laparoscopy", "shot": 1, "k": 3}
+	do(t, s, http.MethodPost, "/v1/search", "admin-tok", req, nil)
+	do(t, s, http.MethodPost, "/v1/search", "admin-tok", req, nil)
+
+	var resp struct {
+		Library  classminer.LibraryStats `json:"library"`
+		Cache    cacheStats              `json:"cache"`
+		Ingest   poolStats               `json:"ingest"`
+		Requests int64                   `json:"requests"`
+	}
+	if code := do(t, s, http.MethodGet, "/v1/stats", "admin-tok", nil, &resp); code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	if resp.Library.Videos == 0 || resp.Library.IndexedShots == 0 {
+		t.Fatalf("library stats = %+v", resp.Library)
+	}
+	if resp.Cache.Hits == 0 || resp.Cache.Misses == 0 {
+		t.Fatalf("cache stats = %+v", resp.Cache)
+	}
+	if resp.Requests < 3 {
+		t.Fatalf("requests = %d", resp.Requests)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := newTestServer(t, Options{})
+	if code := do(t, s, http.MethodDelete, "/v1/videos", "admin-tok", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Fatal("DELETE /v1/videos must 405")
+	}
+	if code := do(t, s, http.MethodGet, "/v1/search", "admin-tok", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Fatal("GET /v1/search must 405")
+	}
+	if code := do(t, s, http.MethodGet, "/v1/admin/save", "admin-tok", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Fatal("GET /v1/admin/save must 405")
+	}
+}
+
+// TestConcurrentSearchDuringIngest hammers the query path while an ingest
+// job registers a video and swaps the index — the serving guarantee the
+// copy-on-write Library exists for. Run with -race.
+func TestConcurrentSearchDuringIngest(t *testing.T) {
+	s := newTestServer(t, Options{Workers: 2})
+	saved, err := store.EncodeResult(s.lib.Video("laparoscopy").Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := s.lib.Stats().Videos
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := map[string]any{"video": "laparoscopy", "shot": (w + i) % 3, "k": 4}
+				var resp searchResponse
+				if code := do(t, s, http.MethodPost, "/v1/search", "admin-tok", req, &resp); code != http.StatusOK {
+					t.Errorf("search during ingest = %d", code)
+					return
+				}
+				if len(resp.Hits) == 0 {
+					t.Error("search during ingest returned nothing")
+					return
+				}
+				do(t, s, http.MethodGet, "/v1/events/dialog", "pub-tok", nil, nil)
+			}
+		}(w)
+	}
+	for i := 0; i < 3; i++ {
+		body := map[string]any{"saved": saved, "subcluster": "dentistry", "name": fmt.Sprintf("race-%d", i)}
+		if code := do(t, s, http.MethodPost, "/v1/videos", "admin-tok", body, nil); code != http.StatusAccepted {
+			t.Fatalf("ingest %d = %d", i, code)
+		}
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for s.lib.Stats().Videos < base+3 || s.lib.IndexStale() {
+		if time.Now().After(deadline) {
+			t.Fatal("ingest jobs did not finish")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -12,6 +12,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"classminer/internal/core"
 	"classminer/internal/skim"
@@ -305,6 +307,34 @@ func ReadLibrary(r io.Reader) (*SavedLibrary, error) {
 		return nil, fmt.Errorf("store: library version %d unsupported (want %d)", lib.Version, FormatVersion)
 	}
 	return &lib, nil
+}
+
+// WriteFileAtomic streams write into a temp file in path's directory and
+// renames it into place, so a crash mid-save (or a concurrent reader) never
+// observes a truncated snapshot. This is how the serving daemon checkpoints
+// its library.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
 }
 
 func min(a, b int) int {

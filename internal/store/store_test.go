@@ -2,7 +2,11 @@ package store
 
 import (
 	"bytes"
+	"fmt"
+	"io"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -184,5 +188,48 @@ func TestDecodeBadReferences(t *testing.T) {
 	corrupt.Groups[0].Shots = []int{99999}
 	if _, err := DecodeResult(&corrupt); err == nil {
 		t.Fatal("want bad-reference error")
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	path := t.TempDir() + "/lib.json"
+	saved, err := EncodeResult(minedResult(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []SavedLibraryEntry{{Subcluster: "medicine", Result: saved}}
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		return WriteLibrary(w, entries)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lib, err := ReadLibrary(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib.Videos) != 1 {
+		t.Fatalf("videos = %d", len(lib.Videos))
+	}
+	// A failed write must leave no temp litter and not clobber the target.
+	writeErr := fmt.Errorf("disk on fire")
+	if err := WriteFileAtomic(path, func(io.Writer) error { return writeErr }); err != writeErr {
+		t.Fatalf("err = %v, want the write error", err)
+	}
+	dir, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dir) != 1 {
+		t.Fatalf("temp file left behind: %v", dir)
+	}
+	if f, err := os.Open(path); err != nil {
+		t.Fatal("target clobbered:", err)
+	} else {
+		f.Close()
 	}
 }
