@@ -31,6 +31,7 @@ import (
 	"classminer/internal/concept"
 	"classminer/internal/core"
 	"classminer/internal/index"
+	"classminer/internal/mat"
 	"classminer/internal/skim"
 	"classminer/internal/store"
 	"classminer/internal/vidmodel"
@@ -140,7 +141,12 @@ type Library struct {
 	policy    *access.Policy
 	videos    map[string]*VideoEntry
 	entries   []*index.Entry
-	ix        *index.Index
+	// featData is the flat row-major feature matrix over entries (row i =
+	// entries[i], featDim columns), grown at registration and reused across
+	// every index rebuild so BuildIndex never re-extracts shot features.
+	featData []float64
+	featDim  int
+	ix       *index.Index
 	// entriesVer counts entry-set mutations; ixVer is the entriesVer the
 	// installed index was built from (index is stale while they differ).
 	entriesVer int64
@@ -228,14 +234,33 @@ func (l *Library) AddResult(res *Result, subcluster string) error {
 
 // register installs a mined result under the lock. The installed index is
 // left in place — still serving, now stale — until the next BuildIndex.
+// Feature rows are appended to the library's flat matrix here, once per
+// shot, so index rebuilds never re-extract them.
 func (l *Library) register(name string, res *Result, subcluster string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if _, dup := l.videos[name]; dup {
 		return fmt.Errorf("classminer: video %q already registered", name)
 	}
+	newEntries := res.IndexEntries(subcluster)
+	dim := l.featDim
+	for _, e := range newEntries {
+		d := len(e.Shot.Color) + len(e.Shot.Texture)
+		if dim == 0 {
+			dim = d
+		}
+		if d != dim {
+			return fmt.Errorf("classminer: video %q shot has %d feature dims, library has %d",
+				name, d, dim)
+		}
+	}
+	l.featDim = dim
+	for _, e := range newEntries {
+		l.featData = append(l.featData, e.Shot.Color...)
+		l.featData = append(l.featData, e.Shot.Texture...)
+	}
 	l.videos[name] = &VideoEntry{Result: res, Subcluster: subcluster}
-	l.entries = append(l.entries, res.IndexEntries(subcluster)...)
+	l.entries = append(l.entries, newEntries...)
 	l.entriesVer++
 	l.gen++
 	return nil
@@ -249,12 +274,17 @@ func (l *Library) register(name string, res *Result, subcluster string) error {
 func (l *Library) BuildIndex() error {
 	l.mu.RLock()
 	entries := l.entries[:len(l.entries):len(l.entries)]
+	// Snapshot the precomputed feature matrix alongside: the capacity-capped
+	// view stays valid even if later registrations grow featData, and rows
+	// past the snapshot are never written concurrently.
+	flen := len(entries) * l.featDim
+	feats := &mat.Dense{R: len(entries), C: l.featDim, Data: l.featData[:flen:flen]}
 	ver := l.entriesVer
 	l.mu.RUnlock()
 	if len(entries) == 0 {
 		return fmt.Errorf("classminer: no videos registered")
 	}
-	ix, err := index.Build(entries, index.Options{})
+	ix, err := index.BuildMatrix(entries, feats, index.Options{})
 	if err != nil {
 		return err
 	}
@@ -367,6 +397,22 @@ func (l *Library) Search(u User, query []float64, k int) ([]SearchHit, SearchSta
 	hits, stats := l.ix.Search(query, k)
 	filtered := access.Filter(l.policy, u, hits, func(h SearchHit) []string { return h.Entry.Path })
 	return filtered, stats, nil
+}
+
+// SearchBatch answers many query-by-example searches in one call: the index
+// fans the queries out across cores and the access-control policy filters
+// each answer for the user. hits[i] and stats[i] correspond to queries[i].
+func (l *Library) SearchBatch(u User, queries [][]float64, k int) ([][]SearchHit, []SearchStats, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.ix == nil {
+		return nil, nil, fmt.Errorf("classminer: index not built (call BuildIndex)")
+	}
+	hits, stats := l.ix.SearchBatch(queries, k)
+	for i := range hits {
+		hits[i] = access.Filter(l.policy, u, hits[i], func(h SearchHit) []string { return h.Entry.Path })
+	}
+	return hits, stats, nil
 }
 
 // SceneRef names one scene of one registered video.

@@ -59,11 +59,17 @@ func TestLibraryConcurrentMutationDuringQueries(t *testing.T) {
 					return
 				default:
 				}
-				switch i % 5 {
+				switch i % 6 {
 				case 0:
 					hits, stats, err := l.Search(admin, query, 4)
 					if err != nil || len(hits) == 0 || stats.DistanceOps == 0 {
 						t.Errorf("search during writes: hits=%d err=%v", len(hits), err)
+						return
+					}
+				case 5:
+					batch, _, err := l.SearchBatch(admin, [][]float64{query, query}, 3)
+					if err != nil || len(batch) != 2 || len(batch[0]) == 0 {
+						t.Errorf("batch search during writes: %d err=%v", len(batch), err)
 						return
 					}
 				case 1:

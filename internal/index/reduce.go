@@ -15,6 +15,12 @@ import (
 type Reducer struct {
 	selected []int
 	pca      *mat.PCA
+	// compsT holds the PCA components transposed and contiguous —
+	// compsT[j*Dim+c] = Components[c][j] — so ProjectInto's inner loop is a
+	// dense Dim-wide accumulate per selected coordinate instead of a
+	// strided gather. The hot ranking path projects sibling-leaf entries
+	// through it on demand.
+	compsT []float64
 }
 
 // FitReducer fits a reducer on the sample rows: selectDims coordinates by
@@ -58,12 +64,43 @@ func FitReducer(x [][]float64, selectDims, pcaDims int) (*Reducer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Reducer{selected: selected, pca: pca}, nil
+	r := &Reducer{selected: selected, pca: pca}
+	k := pca.Dim()
+	r.compsT = make([]float64, len(selected)*k)
+	for c, axis := range pca.Components {
+		for j, w := range axis {
+			r.compsT[j*k+c] = w
+		}
+	}
+	return r, nil
 }
 
 // Project maps a full-dimension feature into the reduced space.
 func (r *Reducer) Project(v []float64) []float64 {
-	return r.pca.Project(pick(v, r.selected))
+	return r.ProjectInto(make([]float64, r.Dim()), v)
+}
+
+// ProjectInto maps a full-dimension feature into the reduced space, writing
+// into dst (length Dim). Variance selection and PCA centering are fused into
+// one pass so the call performs no heap allocation; Search projects queries
+// through pooled scratch buffers with it.
+func (r *Reducer) ProjectInto(dst, v []float64) []float64 {
+	k := len(r.pca.Components)
+	if len(dst) != k {
+		panic(mat.ErrDimension)
+	}
+	mean := r.pca.Mean
+	for i := range dst {
+		dst[i] = 0
+	}
+	for j, src := range r.selected {
+		x := v[src] - mean[j]
+		row := r.compsT[j*k : (j+1)*k]
+		for c, w := range row {
+			dst[c] += x * w
+		}
+	}
+	return dst
 }
 
 // Dim is the reduced dimensionality.

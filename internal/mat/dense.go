@@ -1,0 +1,99 @@
+package mat
+
+// Dense is a row-major matrix backed by one contiguous allocation. The
+// hierarchical index stores per-leaf feature and projection matrices this
+// way so the search hot path walks cache-friendly memory and indexes rows
+// by integer instead of chasing per-entry map lookups.
+type Dense struct {
+	R, C int
+	Data []float64 // len R*C, row i at Data[i*C : (i+1)*C]
+}
+
+// NewDense allocates an r×c zero matrix.
+func NewDense(r, c int) *Dense {
+	return &Dense{R: r, C: c, Data: make([]float64, r*c)}
+}
+
+// Row returns a view (not a copy) of row i.
+func (d *Dense) Row(i int) []float64 {
+	return d.Data[i*d.C : (i+1)*d.C : (i+1)*d.C]
+}
+
+// SetRow copies v into row i.
+func (d *Dense) SetRow(i int, v []float64) {
+	if len(v) != d.C {
+		panic(ErrDimension)
+	}
+	copy(d.Row(i), v)
+}
+
+// AppendRow grows the matrix by one row holding a copy of v. The first
+// appended row fixes C when the matrix is empty.
+func (d *Dense) AppendRow(v []float64) {
+	if d.R == 0 && d.C == 0 {
+		d.C = len(v)
+	}
+	if len(v) != d.C {
+		panic(ErrDimension)
+	}
+	d.Data = append(d.Data, v...)
+	d.R++
+}
+
+// Rows materialises per-row views. The returned slice allocates headers
+// only; the float data is shared with the matrix.
+func (d *Dense) Rows() [][]float64 {
+	out := make([][]float64, d.R)
+	for i := range out {
+		out[i] = d.Row(i)
+	}
+	return out
+}
+
+// RowsAt returns views of the rows named by idx (headers only, shared data).
+func (d *Dense) RowsAt(idx []int32) [][]float64 {
+	out := make([][]float64, len(idx))
+	for i, j := range idx {
+		out[i] = d.Row(int(j))
+	}
+	return out
+}
+
+// SqDistRow returns the squared Euclidean distance between row i and v.
+func (d *Dense) SqDistRow(i int, v []float64) float64 {
+	return SqDist(d.Row(i), v)
+}
+
+// DistRow returns the Euclidean distance between row i and v.
+func (d *Dense) DistRow(i int, v []float64) float64 {
+	return Dist(d.Row(i), v)
+}
+
+// SqDistBounded returns the squared Euclidean distance between a and b,
+// abandoning early once the running sum exceeds bound: the returned value is
+// then some partial sum > bound, still correct for "is the true distance
+// < bound" tests, which is all a top-k scan needs. The bound is checked once
+// per 16-element block so the inner loop stays tight.
+func SqDistBounded(a, b []float64, bound float64) float64 {
+	if len(a) != len(b) {
+		panic(ErrDimension)
+	}
+	var s float64
+	i := 0
+	for ; i+16 <= len(a); i += 16 {
+		var blk float64
+		for j := i; j < i+16; j++ {
+			d := a[j] - b[j]
+			blk += d * d
+		}
+		s += blk
+		if s > bound {
+			return s
+		}
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

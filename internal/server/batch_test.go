@@ -1,0 +1,137 @@
+package server
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+)
+
+func TestSearchBatchEndpoint(t *testing.T) {
+	s := newTestServer(t, Options{})
+	// Warm the cache with a single-item search for shot 0.
+	single := map[string]any{"video": "laparoscopy", "shot": 0, "k": 5}
+	var warm searchResponse
+	if code := do(t, s, http.MethodPost, "/v1/search", "admin-tok", single, &warm); code != http.StatusOK {
+		t.Fatalf("warm search = %d", code)
+	}
+	batch := map[string]any{
+		"k": 5,
+		"items": []map[string]any{
+			{"video": "laparoscopy", "shot": 0},
+			{"video": "laparoscopy", "shot": 1},
+			{"video": "laparoscopy", "shot": 2},
+		},
+	}
+	var resp batchSearchResponse
+	if code := do(t, s, http.MethodPost, "/v1/search/batch", "admin-tok", batch, &resp); code != http.StatusOK {
+		t.Fatalf("batch = %d", code)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("results = %d", len(resp.Results))
+	}
+	if !resp.Results[0].Cached {
+		t.Fatal("item 0 was warmed by the single search but missed the cache")
+	}
+	if resp.Results[1].Cached || resp.Results[2].Cached {
+		t.Fatal("cold items reported as cached")
+	}
+	// The warmed item must be byte-for-byte the single-search answer.
+	if len(resp.Results[0].Hits) != len(warm.Hits) {
+		t.Fatalf("batch item 0 hits = %d, single = %d", len(resp.Results[0].Hits), len(warm.Hits))
+	}
+	for i, h := range warm.Hits {
+		if !reflect.DeepEqual(resp.Results[0].Hits[i], h) {
+			t.Fatalf("batch item 0 hit %d = %+v, single = %+v", i, resp.Results[0].Hits[i], h)
+		}
+	}
+	// Every fresh batch answer lands in the cache individually.
+	var again batchSearchResponse
+	do(t, s, http.MethodPost, "/v1/search/batch", "admin-tok", batch, &again)
+	for i, r := range again.Results {
+		if !r.Cached {
+			t.Fatalf("repeat batch item %d not cached", i)
+		}
+	}
+	// And single-item searches hit what the batch cached.
+	var after searchResponse
+	do(t, s, http.MethodPost, "/v1/search", "admin-tok",
+		map[string]any{"video": "laparoscopy", "shot": 2, "k": 5}, &after)
+	if !after.Cached {
+		t.Fatal("single search missed the batch-populated cache")
+	}
+	// Each item's answer must equal its single-search answer.
+	for shot := 1; shot <= 2; shot++ {
+		var want searchResponse
+		do(t, s, http.MethodPost, "/v1/search", "admin-tok",
+			map[string]any{"video": "laparoscopy", "shot": shot, "k": 5}, &want)
+		got := resp.Results[shot]
+		if len(got.Hits) != len(want.Hits) {
+			t.Fatalf("shot %d: batch %d hits, single %d", shot, len(got.Hits), len(want.Hits))
+		}
+		for i := range want.Hits {
+			if !reflect.DeepEqual(got.Hits[i], want.Hits[i]) {
+				t.Fatalf("shot %d hit %d: batch %+v, single %+v", shot, i, got.Hits[i], want.Hits[i])
+			}
+		}
+	}
+}
+
+func TestSearchBatchDuplicateItems(t *testing.T) {
+	s := newTestServer(t, Options{})
+	batch := map[string]any{
+		"k": 4,
+		"items": []map[string]any{
+			{"video": "laparoscopy", "shot": 7},
+			{"video": "laparoscopy", "shot": 8},
+			{"video": "laparoscopy", "shot": 7}, // duplicate: one search serves both
+		},
+	}
+	var resp batchSearchResponse
+	if code := do(t, s, http.MethodPost, "/v1/search/batch", "admin-tok", batch, &resp); code != http.StatusOK {
+		t.Fatalf("batch = %d", code)
+	}
+	if len(resp.Results) != 3 {
+		t.Fatalf("results = %d", len(resp.Results))
+	}
+	if !reflect.DeepEqual(resp.Results[0], resp.Results[2]) {
+		t.Fatalf("duplicate items answered differently:\n%+v\n%+v", resp.Results[0], resp.Results[2])
+	}
+	if reflect.DeepEqual(resp.Results[0].Hits, resp.Results[1].Hits) {
+		t.Fatal("distinct items share an answer")
+	}
+}
+
+func TestSearchBatchValidation(t *testing.T) {
+	s := newTestServer(t, Options{})
+	cases := []struct {
+		name string
+		body map[string]any
+		want int
+	}{
+		{"empty items", map[string]any{"k": 5}, http.StatusBadRequest},
+		{"per-item k", map[string]any{"items": []map[string]any{
+			{"video": "laparoscopy", "shot": 0, "k": 3}}}, http.StatusBadRequest},
+		{"unknown video", map[string]any{"items": []map[string]any{
+			{"video": "nope", "shot": 0}}}, http.StatusNotFound},
+		{"bad dims", map[string]any{"items": []map[string]any{
+			{"query": []float64{1, 2, 3}}}}, http.StatusBadRequest},
+		{"shot out of range", map[string]any{"items": []map[string]any{
+			{"video": "laparoscopy", "shot": 99999}}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		if code := do(t, s, http.MethodPost, "/v1/search/batch", "admin-tok", tc.body, nil); code != tc.want {
+			t.Fatalf("%s = %d, want %d", tc.name, code, tc.want)
+		}
+	}
+	items := make([]map[string]any, maxBatchItems+1)
+	for i := range items {
+		items[i] = map[string]any{"video": "laparoscopy", "shot": 0}
+	}
+	if code := do(t, s, http.MethodPost, "/v1/search/batch", "admin-tok",
+		map[string]any{"items": items}, nil); code != http.StatusBadRequest {
+		t.Fatal("oversized batch must 400")
+	}
+	if code := do(t, s, http.MethodGet, "/v1/search/batch", "admin-tok", nil, nil); code != http.StatusMethodNotAllowed {
+		t.Fatal("GET on batch must 405")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"classminer"
+	"classminer/internal/access"
 	"classminer/internal/concept"
 	"classminer/internal/store"
 	"classminer/internal/synth"
@@ -201,57 +202,53 @@ type searchResponse struct {
 	Cached bool                   `json:"cached"`
 }
 
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
-	var req searchRequest
-	if !decodeBody(w, r, &req) {
-		return
-	}
-	u := userOf(r)
+// resolveQuery turns a search request's query spec (raw vector or
+// video+shot example) into a feature vector. On failure it writes the HTTP
+// error and returns false.
+func (s *Server) resolveQuery(w http.ResponseWriter, u access.User, req searchRequest) ([]float64, bool) {
 	query := req.Query
 	if req.Video != "" {
 		ve := s.lib.Video(req.Video)
 		if ve == nil {
 			writeError(w, http.StatusNotFound, fmt.Sprintf("no video %q", req.Video))
-			return
+			return nil, false
 		}
 		if !s.lib.Allowed(u, s.subclusterPath(ve.Subcluster)) {
 			writeError(w, http.StatusForbidden, fmt.Sprintf("subcluster %q not accessible", ve.Subcluster))
-			return
+			return nil, false
 		}
 		if req.Shot < 0 || req.Shot >= len(ve.Result.Shots) {
 			writeError(w, http.StatusBadRequest,
 				fmt.Sprintf("video %q has %d shots", req.Video, len(ve.Result.Shots)))
-			return
+			return nil, false
 		}
 		query = ve.Result.Shots[req.Shot].Feature()
 	}
 	if len(query) == 0 {
 		writeError(w, http.StatusBadRequest, "provide either query (feature vector) or video+shot")
-		return
+		return nil, false
 	}
 	if want := s.featureDim(); want > 0 && len(query) != want {
 		writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("query has %d dims, want %d", len(query), want))
-		return
+		return nil, false
 	}
-	k := req.K
+	return query, true
+}
+
+// clampK applies the search-k defaults and bounds.
+func clampK(k int) int {
 	if k <= 0 {
-		k = 10
+		return 10
 	}
 	if k > 100 {
-		k = 100
+		return 100
 	}
-	key := makeKey(s.lib.Generation(), u, query, k)
-	if resp, ok := s.cache.Get(key, query); ok {
-		resp.Cached = true
-		writeJSON(w, http.StatusOK, resp)
-		return
-	}
-	hits, stats, err := s.lib.Search(u, query, k)
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err.Error())
-		return
-	}
+	return k
+}
+
+// buildSearchResponse renders ranked hits into the JSON response shape.
+func buildSearchResponse(hits []classminer.SearchHit, stats classminer.SearchStats, k int) searchResponse {
 	resp := searchResponse{Hits: make([]searchHit, 0, len(hits)), Stats: stats, K: k}
 	for _, h := range hits {
 		concept := ""
@@ -264,8 +261,132 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Concept: concept, Path: h.Entry.Path, Dist: h.Dist,
 		})
 	}
+	return resp
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	u := userOf(r)
+	query, ok := s.resolveQuery(w, u, req)
+	if !ok {
+		return
+	}
+	k := clampK(req.K)
+	key := makeKey(s.lib.Generation(), u, query, k)
+	if resp, ok := s.cache.Get(key, query); ok {
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	hits, stats, err := s.lib.Search(u, query, k)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	resp := buildSearchResponse(hits, stats, k)
 	s.cache.Put(key, query, resp)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- POST /v1/search/batch -------------------------------------------------
+
+// maxBatchItems bounds one batch request; larger workloads should paginate.
+const maxBatchItems = 256
+
+type batchSearchRequest struct {
+	// Items are query specs (raw vector or video+shot); per-item K is not
+	// supported — the request-level K applies to every item.
+	Items []searchRequest `json:"items"`
+	K     int             `json:"k,omitempty"`
+}
+
+type batchSearchResponse struct {
+	Results []searchResponse `json:"results"`
+}
+
+// handleSearchBatch answers many searches in one round trip: items already
+// in the generation-keyed cache are served from it, the rest fan out across
+// cores via Library.SearchBatch, and every fresh answer is cached
+// individually so later single-item searches hit too.
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchSearchRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no items")
+		return
+	}
+	if len(req.Items) > maxBatchItems {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch has %d items, max %d", len(req.Items), maxBatchItems))
+		return
+	}
+	u := userOf(r)
+	k := clampK(req.K)
+	queries := make([][]float64, len(req.Items))
+	for i, item := range req.Items {
+		if item.K != 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("item %d sets k; set it once at the request level", i))
+			return
+		}
+		q, ok := s.resolveQuery(w, u, item)
+		if !ok {
+			return
+		}
+		queries[i] = q
+	}
+	gen := s.lib.Generation()
+	results := make([]searchResponse, len(req.Items))
+	// Deduplicate uncached items by cache key so repeated specs in one
+	// batch run a single search; itemMiss maps each uncached item to its
+	// slot in the deduped fan-out.
+	itemMiss := make([]int, len(req.Items))
+	missPos := map[cacheKey]int{}
+	var missKeys []cacheKey
+	var missQueries [][]float64
+	for i, q := range queries {
+		key := makeKey(gen, u, q, k)
+		if resp, ok := s.cache.Get(key, q); ok {
+			resp.Cached = true
+			results[i] = resp
+			itemMiss[i] = -1
+			continue
+		}
+		pos, dup := missPos[key]
+		if dup && !sameQuery(missQueries[pos], q) {
+			dup = false // 64-bit hash collision: keep the queries separate
+		}
+		if !dup {
+			pos = len(missQueries)
+			missPos[key] = pos
+			missKeys = append(missKeys, key)
+			missQueries = append(missQueries, q)
+		}
+		itemMiss[i] = pos
+	}
+	if len(missQueries) > 0 {
+		hits, stats, err := s.lib.SearchBatch(u, missQueries, k)
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		missResp := make([]searchResponse, len(missQueries))
+		for pos := range missQueries {
+			missResp[pos] = buildSearchResponse(hits[pos], stats[pos], k)
+			s.cache.Put(missKeys[pos], missQueries[pos], missResp[pos])
+		}
+		for i, pos := range itemMiss {
+			if pos >= 0 {
+				results[i] = missResp[pos]
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, batchSearchResponse{Results: results})
 }
 
 // featureDim returns the library's shot-feature dimensionality (0 when no

@@ -133,6 +133,8 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 		})
 	case path == "/v1/search":
 		s.post(w, r, s.handleSearch)
+	case path == "/v1/search/batch":
+		s.post(w, r, s.handleSearchBatch)
 	case strings.HasPrefix(path, "/v1/events/"):
 		s.get(w, r, func(w http.ResponseWriter, r *http.Request) {
 			s.handleEvents(w, r, strings.TrimPrefix(path, "/v1/events/"))

@@ -98,3 +98,34 @@ func BenchmarkServerSearchCached(b *testing.B) {
 		searchOnce(b, s, body)
 	}
 }
+
+// BenchmarkServerSearchBatch measures the batch endpoint with 16 uncached
+// items per request (cache disabled): one HTTP round trip, parallel index
+// fan-out underneath.
+func BenchmarkServerSearchBatch(b *testing.B) {
+	s := benchServer(b, -1)
+	shots := len(benchLibrary(b).Video("laparoscopy").Result.Shots)
+	const items = 16
+	bodies := make([][]byte, shots)
+	for start := range bodies {
+		var buf bytes.Buffer
+		buf.WriteString(`{"k":10,"items":[`)
+		for j := 0; j < items; j++ {
+			if j > 0 {
+				buf.WriteByte(',')
+			}
+			fmt.Fprintf(&buf, `{"video":"laparoscopy","shot":%d}`, (start+j)%shots)
+		}
+		buf.WriteString("]}")
+		bodies[start] = buf.Bytes()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := httptest.NewRequest(http.MethodPost, "/v1/search/batch", bytes.NewReader(bodies[i%len(bodies)]))
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, r)
+		if w.Code != http.StatusOK {
+			b.Fatalf("batch = %d: %s", w.Code, w.Body.String())
+		}
+	}
+}
