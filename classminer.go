@@ -22,8 +22,11 @@
 package classminer
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"sync"
 
@@ -35,6 +38,7 @@ import (
 	"classminer/internal/skim"
 	"classminer/internal/store"
 	"classminer/internal/vidmodel"
+	"classminer/internal/wal"
 )
 
 // Re-exported media and result types. These aliases are the public face of
@@ -74,7 +78,25 @@ type (
 	SkimLevel = skim.Level
 	// Skim is a built scalable skimming.
 	Skim = skim.Skim
+	// DurableOptions configures the write-ahead log behind Recover.
+	DurableOptions = wal.Options
+	// WALStats reports a durable library's log lag (records and bytes
+	// appended since the last checkpoint).
+	WALStats = wal.Stats
 )
+
+// Write-ahead-log fsync policies for DurableOptions.Sync.
+const (
+	SyncAlways   = wal.SyncAlways
+	SyncInterval = wal.SyncInterval
+	SyncNever    = wal.SyncNever
+)
+
+// ErrDuplicateVideo reports a registration under a name the library already
+// holds. Recovery relies on it: records that straddle a checkpoint appear
+// in both the snapshot and the log tail, and replay skips the second copy
+// by matching this error.
+var ErrDuplicateVideo = errors.New("classminer: video already registered")
 
 // The four skimming layers (granularity increases from 4 down to 1).
 const (
@@ -154,6 +176,10 @@ type Library struct {
 	// gen counts every mutation that can change what a query returns
 	// (registration, index swap, policy change). Caches key on it.
 	gen int64
+	// journal, when non-nil, is the durable storage engine: register
+	// appends each encoded registration to it before mutating in-memory
+	// state, and Recover rebuilds the library from its snapshot + log.
+	journal *wal.Engine
 }
 
 // NewLibrary creates an empty library using the Fig. 2 medical concept
@@ -208,7 +234,7 @@ func (l *Library) AddVideo(v *Video, subcluster string) (*Result, error) {
 	_, dup := l.videos[v.Name]
 	l.mu.RUnlock()
 	if dup {
-		return nil, fmt.Errorf("classminer: video %q already registered", v.Name)
+		return nil, fmt.Errorf("%w: %q", ErrDuplicateVideo, v.Name)
 	}
 	// Mining runs outside the lock: it is the slow part and touches no
 	// shared state.
@@ -236,11 +262,29 @@ func (l *Library) AddResult(res *Result, subcluster string) error {
 // left in place — still serving, now stale — until the next BuildIndex.
 // Feature rows are appended to the library's flat matrix here, once per
 // shot, so index rebuilds never re-extract them.
+//
+// On a durable library the registration is write-ahead logged: the encoded
+// record is appended (and, under SyncAlways, fsynced) before any in-memory
+// state changes, so every registration the caller saw succeed is replayed
+// by Recover after a crash. Validation runs first — a registration that
+// would fail must never reach the log, or replay would resurrect it.
+// That ordering is why the fsync happens under the write lock: journaling
+// before the lock would ack-or-log records whose validation later fails.
+// The stall it imposes on readers is one fsync per *registration* — a
+// pool-bounded, mining-dominated path — not per query, which is the
+// opposite tradeoff from Save/BuildIndex (both serialise outside the lock
+// because they scale with library size).
 func (l *Library) register(name string, res *Result, subcluster string) error {
+	// Encode the journal record outside the write lock: serialising a
+	// large mined result is the slow part and needs no library state.
+	rec, err := l.encodeJournalRecord(res, subcluster)
+	if err != nil {
+		return err
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if _, dup := l.videos[name]; dup {
-		return fmt.Errorf("classminer: video %q already registered", name)
+		return fmt.Errorf("%w: %q", ErrDuplicateVideo, name)
 	}
 	newEntries := res.IndexEntries(subcluster)
 	dim := l.featDim
@@ -254,6 +298,11 @@ func (l *Library) register(name string, res *Result, subcluster string) error {
 				name, d, dim)
 		}
 	}
+	if rec != nil && l.journal != nil {
+		if err := l.journal.Append(rec); err != nil {
+			return fmt.Errorf("classminer: journaling %q: %w", name, err)
+		}
+	}
 	l.featDim = dim
 	for _, e := range newEntries {
 		l.featData = append(l.featData, e.Shot.Color...)
@@ -264,6 +313,28 @@ func (l *Library) register(name string, res *Result, subcluster string) error {
 	l.entriesVer++
 	l.gen++
 	return nil
+}
+
+// encodeJournalRecord serialises a registration for the write-ahead log,
+// or returns nil when the library is not durable. The payload is the JSON
+// of a store.SavedLibraryEntry — the same shape a snapshot holds per video
+// — so snapshot load and log replay share one decode path.
+func (l *Library) encodeJournalRecord(res *Result, subcluster string) ([]byte, error) {
+	l.mu.RLock()
+	durable := l.journal != nil
+	l.mu.RUnlock()
+	if !durable {
+		return nil, nil
+	}
+	saved, err := store.EncodeResult(res)
+	if err != nil {
+		return nil, fmt.Errorf("classminer: encoding journal record: %w", err)
+	}
+	rec, err := json.Marshal(store.SavedLibraryEntry{Subcluster: subcluster, Result: saved})
+	if err != nil {
+		return nil, fmt.Errorf("classminer: encoding journal record: %w", err)
+	}
+	return rec, nil
 }
 
 // BuildIndex (re)builds the hierarchical index over all registered videos.
@@ -314,6 +385,9 @@ type LibraryStats struct {
 	IndexedShots int   `json:"indexedShots"`
 	IndexStale   bool  `json:"indexStale"`
 	Generation   int64 `json:"generation"`
+	// WAL is the durable log's lag since its last checkpoint; nil when the
+	// library is not durable.
+	WAL *WALStats `json:"wal,omitempty"`
 }
 
 // Stats returns a consistent snapshot of the library's counters.
@@ -328,6 +402,10 @@ func (l *Library) Stats() LibraryStats {
 	}
 	if l.ix != nil {
 		st.IndexedShots = l.ix.Size()
+	}
+	if l.journal != nil {
+		ws := l.journal.Stats()
+		st.WAL = &ws
 	}
 	return st
 }
@@ -445,22 +523,32 @@ func (l *Library) ScenesByEvent(u User, kind EventKind) []SceneRef {
 
 // Save serialises every mined video's metadata (not the media) to w. The
 // saved library can be reloaded with LoadLibrary without re-mining.
+//
+// Only the registration set is snapshotted under the lock; the heavy
+// encoding runs outside it (registered Results are immutable), so a
+// checkpoint of a large library never stalls searches behind a pending
+// writer. The WAL ordering contract survives: the lock acquisition still
+// observes every journaled registration, and anything registered later is
+// on the log past the checkpoint's cut point anyway.
 func (l *Library) Save(w io.Writer) error {
 	l.mu.RLock()
-	defer l.mu.RUnlock()
 	names := make([]string, 0, len(l.videos))
 	for name := range l.videos {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	ves := make([]*VideoEntry, len(names))
+	for i, name := range names {
+		ves[i] = l.videos[name]
+	}
+	l.mu.RUnlock()
 	entries := make([]store.SavedLibraryEntry, 0, len(names))
-	for _, name := range names {
-		ve := l.videos[name]
-		saved, err := store.EncodeResult(ve.Result)
+	for i, name := range names {
+		saved, err := store.EncodeResult(ves[i].Result)
 		if err != nil {
 			return fmt.Errorf("classminer: saving %q: %w", name, err)
 		}
-		entries = append(entries, store.SavedLibraryEntry{Subcluster: ve.Subcluster, Result: saved})
+		entries = append(entries, store.SavedLibraryEntry{Subcluster: ves[i].Subcluster, Result: saved})
 	}
 	return store.WriteLibrary(w, entries)
 }
@@ -469,24 +557,163 @@ func (l *Library) Save(w io.Writer) error {
 // rebuilds its index. The analyzer is kept for future AddVideo calls; the
 // loaded videos carry mined metadata only (no frames or audio).
 func LoadLibrary(r io.Reader, a *Analyzer) (*Library, error) {
-	saved, err := store.ReadLibrary(r)
+	l := NewLibrary(a)
+	n, err := l.ImportSnapshot(r, false)
 	if err != nil {
 		return nil, err
 	}
-	l := NewLibrary(a)
-	for _, sv := range saved.Videos {
-		res, err := store.DecodeResult(sv.Result)
-		if err != nil {
-			return nil, err
-		}
-		if err := l.register(res.Video.Name, res, sv.Subcluster); err != nil {
-			return nil, err
-		}
-	}
-	if len(saved.Videos) > 0 {
+	if n > 0 {
 		if err := l.BuildIndex(); err != nil {
 			return nil, err
 		}
 	}
 	return l, nil
+}
+
+// Recover opens (creating if needed) a durable library rooted at dir: it
+// loads the newest checkpoint snapshot, replays the write-ahead log tail
+// over it, and attaches the journal so every subsequent registration is
+// durable before it is visible. A crashed process therefore restarts with
+// exactly the registrations it acknowledged (under SyncAlways; see
+// DurableOptions.Sync for the weaker modes).
+//
+// The recovered index is left stale — call BuildIndex once before serving
+// searches. Close the library when done to release the engine.
+func Recover(dir string, a *Analyzer, opts DurableOptions) (*Library, error) {
+	eng, err := wal.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	l := NewLibrary(a)
+	ok := false
+	defer func() {
+		if !ok {
+			eng.Close()
+		}
+	}()
+	if snap := eng.SnapshotPath(); snap != "" {
+		f, err := os.Open(snap)
+		if err != nil {
+			return nil, fmt.Errorf("classminer: opening snapshot: %w", err)
+		}
+		_, err = l.ImportSnapshot(f, false)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("classminer: snapshot %s: %w", snap, err)
+		}
+	}
+	err = eng.Replay(func(payload []byte) error {
+		var sv store.SavedLibraryEntry
+		if err := json.Unmarshal(payload, &sv); err != nil {
+			return fmt.Errorf("classminer: decoding journal record: %w", err)
+		}
+		res, err := store.DecodeResult(sv.Result)
+		if err != nil {
+			return fmt.Errorf("classminer: decoding journal record: %w", err)
+		}
+		err = l.register(res.Video.Name, res, sv.Subcluster)
+		if errors.Is(err, ErrDuplicateVideo) {
+			// The record straddles the last checkpoint: it is both in the
+			// snapshot and on the log tail. The snapshot copy won.
+			return nil
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.journal = eng
+	l.mu.Unlock()
+	eng.SetSource(l.Save)
+	if eng.ReplayDamaged() {
+		// The log chain is broken mid-way: records past the damage (and any
+		// future appends, which land after them) would be unreachable by
+		// the next replay. A checkpoint heals it — the fresh snapshot holds
+		// everything just recovered, and the broken segments are pruned.
+		if err := eng.Checkpoint(); err != nil {
+			return nil, fmt.Errorf("classminer: checkpointing past damaged log: %w", err)
+		}
+	}
+	ok = true
+	return l, nil
+}
+
+// ImportSnapshot registers every video of a library snapshot (a stream
+// written by Save) into l, reporting how many were added. With
+// skipExisting, names the library already holds are skipped — the
+// one-shot-migration semantics of classminerd's -load — otherwise a
+// duplicate is an error. Placement concepts are validated like any other
+// registration, and on a durable library every import is journaled. The
+// index is left stale; call BuildIndex afterwards.
+func (l *Library) ImportSnapshot(r io.Reader, skipExisting bool) (int, error) {
+	saved, err := store.ReadLibrary(r)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, sv := range saved.Videos {
+		res, err := store.DecodeResult(sv.Result)
+		if err != nil {
+			return n, err
+		}
+		if skipExisting && l.Video(res.Video.Name) != nil {
+			continue
+		}
+		if err := l.checkSubcluster(sv.Subcluster); err != nil {
+			return n, err
+		}
+		if err := l.register(res.Video.Name, res, sv.Subcluster); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Durable reports whether registrations are write-ahead logged (the
+// library came from Recover).
+func (l *Library) Durable() bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.journal != nil
+}
+
+// Checkpoint folds the write-ahead log into a fresh snapshot and prunes
+// the superseded segments, bounding the next recovery's replay. The
+// background checkpointer calls this when the configured lag thresholds
+// trip; the daemon's admin endpoint calls it on demand. It is an error on
+// a non-durable library.
+func (l *Library) Checkpoint() error {
+	l.mu.RLock()
+	eng := l.journal
+	l.mu.RUnlock()
+	if eng == nil {
+		return fmt.Errorf("classminer: library is not durable")
+	}
+	return eng.Checkpoint()
+}
+
+// WALStats reports the durable log's lag since its last checkpoint. ok is
+// false when the library is not durable.
+func (l *Library) WALStats() (WALStats, bool) {
+	l.mu.RLock()
+	eng := l.journal
+	l.mu.RUnlock()
+	if eng == nil {
+		return WALStats{}, false
+	}
+	return eng.Stats(), true
+}
+
+// Close releases the durable engine (final fsync included). It is a no-op
+// on a non-durable library; the library must not register videos after.
+func (l *Library) Close() error {
+	l.mu.RLock()
+	eng := l.journal
+	l.mu.RUnlock()
+	if eng == nil {
+		return nil
+	}
+	return eng.Close()
 }

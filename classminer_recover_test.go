@@ -1,0 +1,407 @@
+package classminer
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"classminer/internal/store"
+)
+
+// tinyResult fabricates a small mined result (a few shots in one group and
+// scene) with deterministic pseudo-random features. It goes through the
+// same SavedResult decode path a journal replay uses, so recovered and
+// reference libraries are built from identical inputs without paying for
+// the mining pipeline 10k times over.
+func tinyResult(t testing.TB, name string, seed int64, shots int) *Result {
+	t.Helper()
+	res, err := store.DecodeResult(tinySaved(name, seed, shots))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func tinySaved(name string, seed int64, shots int) *store.SavedResult {
+	rng := rand.New(rand.NewSource(seed))
+	sr := &store.SavedResult{
+		Version:     store.FormatVersion,
+		VideoName:   name,
+		FPS:         25,
+		TotalFrames: shots * 50,
+	}
+	feat := func(n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64()
+		}
+		return v
+	}
+	group := store.SavedGroup{Index: 0}
+	for i := 0; i < shots; i++ {
+		sr.Shots = append(sr.Shots, store.SavedShot{
+			Index: i, Start: i * 50, End: (i+1)*50 - 1, RepFrame: i * 50,
+			Color: feat(8), Texture: feat(4),
+		})
+		group.Shots = append(group.Shots, i)
+	}
+	group.RepShots = []int{0}
+	sr.Groups = []store.SavedGroup{group}
+	sr.Scenes = []store.SavedScene{{Index: 0, Groups: []int{0}, RepGroup: 0}}
+	return sr
+}
+
+// quietWAL keeps recovery tests silent and auto-checkpointing out of the
+// way unless a test opts in.
+func quietWAL() DurableOptions {
+	return DurableOptions{CheckpointBytes: -1, CheckpointRecords: -1}
+}
+
+func searchAll(t testing.TB, l *Library, queries [][]float64, k int) [][]SearchHit {
+	t.Helper()
+	u := User{Name: "admin", Clearance: Administrator}
+	out := make([][]SearchHit, len(queries))
+	for i, q := range queries {
+		hits, _, err := l.Search(u, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = hits
+	}
+	return out
+}
+
+func mustSameHits(t testing.TB, got, want [][]SearchHit) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("answered %d queries, want %d", len(got), len(want))
+	}
+	for qi := range want {
+		if len(got[qi]) != len(want[qi]) {
+			t.Fatalf("query %d: %d hits vs %d", qi, len(got[qi]), len(want[qi]))
+		}
+		for hi := range want[qi] {
+			g, w := got[qi][hi], want[qi][hi]
+			if g.Entry.VideoName != w.Entry.VideoName || g.Entry.Shot.Index != w.Entry.Shot.Index || g.Dist != w.Dist {
+				t.Fatalf("query %d hit %d: (%s,%d,%g) vs (%s,%d,%g)", qi, hi,
+					g.Entry.VideoName, g.Entry.Shot.Index, g.Dist,
+					w.Entry.VideoName, w.Entry.Shot.Index, w.Dist)
+			}
+		}
+	}
+}
+
+// fixedQueries derives a deterministic query set from the libraries' own
+// feature space.
+func fixedQueries(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		q := make([]float64, dim)
+		for j := range q {
+			q[j] = rng.Float64()
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// TestRecoverEquivalence is the snapshot+replay equivalence check: a
+// durable library abandoned without any shutdown save must recover to
+// answer exactly like an in-memory reference library that registered the
+// same results. Exercises both the WAL-only boot (no checkpoint ever) and
+// the snapshot+tail layout (checkpoint mid-stream).
+func TestRecoverEquivalence(t *testing.T) {
+	a, err := NewAnalyzer(Options{SkipEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"wal-only", "checkpoint+tail"} {
+		t.Run(mode, func(t *testing.T) {
+			dir := t.TempDir()
+			durable, err := Recover(dir, a, quietWAL())
+			if err != nil {
+				t.Fatal(err)
+			}
+			reference := NewLibrary(a)
+			const videos = 12
+			for i := 0; i < videos; i++ {
+				name := fmt.Sprintf("vid-%03d", i)
+				if err := durable.AddResult(tinyResult(t, name, int64(i), 3+i%4), "medicine"); err != nil {
+					t.Fatal(err)
+				}
+				if err := reference.AddResult(tinyResult(t, name, int64(i), 3+i%4), "medicine"); err != nil {
+					t.Fatal(err)
+				}
+				if mode == "checkpoint+tail" && i == videos/2 {
+					if err := durable.Checkpoint(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			// Crash: no shutdown save, no checkpoint. Close here only
+			// releases the data-dir lock the way process death would —
+			// under SyncAlways it writes nothing, so the on-disk state is
+			// byte-identical to a SIGKILL and everything must come back
+			// from the data dir alone.
+			if err := durable.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			recovered, err := Recover(dir, a, quietWAL())
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer recovered.Close()
+			if got, want := recovered.Stats().Videos, reference.Stats().Videos; got != want {
+				t.Fatalf("recovered %d videos, want %d", got, want)
+			}
+			if err := recovered.BuildIndex(); err != nil {
+				t.Fatal(err)
+			}
+			if err := reference.BuildIndex(); err != nil {
+				t.Fatal(err)
+			}
+			queries := fixedQueries(10, 12, 99)
+			mustSameHits(t, searchAll(t, recovered, queries, 5), searchAll(t, reference, queries, 5))
+		})
+	}
+}
+
+// TestRecoverEmptyDir boots a durable library from a directory that has
+// never seen a record: zero snapshots, an empty log.
+func TestRecoverEmptyDir(t *testing.T) {
+	a, err := NewAnalyzer(Options{SkipEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := Recover(t.TempDir(), a, quietWAL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lib.Close()
+	if !lib.Durable() {
+		t.Fatal("recovered library is not durable")
+	}
+	if st := lib.Stats(); st.Videos != 0 || st.WAL == nil || st.WAL.Records != 0 {
+		t.Fatalf("empty-dir stats = %+v", st)
+	}
+	if err := lib.AddResult(tinyResult(t, "first", 1, 4), "medicine"); err != nil {
+		t.Fatal(err)
+	}
+	if st := lib.Stats(); st.WAL.Records != 1 {
+		t.Fatalf("WAL lag after one registration = %+v", st.WAL)
+	}
+}
+
+// TestRecoverSkipsCheckpointStraddlers registers, checkpoints, and crashes
+// without closing: the final registrations live on the log tail while
+// earlier ones are in the snapshot. A record present in both (appended
+// while a checkpoint snapshot was cut) must register once, not error.
+func TestRecoverDuplicateTolerance(t *testing.T) {
+	a, err := NewAnalyzer(Options{SkipEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	lib, err := Recover(dir, a, quietWAL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := lib.AddResult(tinyResult(t, fmt.Sprintf("v%d", i), int64(i), 3), "medicine"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lib.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate registration is refused and, critically, never journaled:
+	// a WAL record of a failed registration would resurrect it on replay.
+	if err := lib.AddResult(tinyResult(t, "v0", 0, 3), "medicine"); !errors.Is(err, ErrDuplicateVideo) {
+		t.Fatalf("duplicate AddResult: %v, want ErrDuplicateVideo", err)
+	}
+	if err := lib.AddResult(tinyResult(t, "tail", 77, 3), "medicine"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := Recover(dir, a, quietWAL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if got := recovered.Stats().Videos; got != 5 {
+		t.Fatalf("recovered %d videos, want 5", got)
+	}
+	if recovered.Video("tail") == nil {
+		t.Fatal("log-tail registration lost")
+	}
+}
+
+// TestRecoverTornJournalTail cuts the last journal record mid-frame (the
+// on-disk signature of a crash mid-append) and verifies recovery keeps
+// every earlier registration and drops only the torn one.
+func TestRecoverTornJournalTail(t *testing.T) {
+	a, err := NewAnalyzer(Options{SkipEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	lib, err := Recover(dir, a, quietWAL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := lib.AddResult(tinyResult(t, fmt.Sprintf("v%d", i), int64(i), 3), "medicine"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lib.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v %v", segs, err)
+	}
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := Recover(dir, a, quietWAL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if got := recovered.Stats().Videos; got != 2 {
+		t.Fatalf("recovered %d videos, want 2 (torn third dropped)", got)
+	}
+	if recovered.Video("v2") != nil {
+		t.Fatal("torn registration resurrected")
+	}
+	// The repaired log accepts the registration again.
+	if err := recovered.AddResult(tinyResult(t, "v2", 2, 3), "medicine"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverHealsDamagedChain corrupts a sealed mid-chain WAL segment and
+// verifies Recover checkpoints past the damage, so registrations made
+// after the damaged recovery survive the *next* crash instead of being
+// stranded behind the broken segment.
+func TestRecoverHealsDamagedChain(t *testing.T) {
+	a, err := NewAnalyzer(Options{SkipEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	opts := quietWAL()
+	opts.SegmentBytes = 1 << 10 // force several segments
+	lib, err := Recover(dir, a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := lib.AddResult(tinyResult(t, fmt.Sprintf("v%d", i), int64(i), 3), "medicine"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lib.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("need >= 3 segments, got %v (%v)", segs, err)
+	}
+	raw, err := os.ReadFile(segs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[16] ^= 0x01
+	if err := os.WriteFile(segs[1], raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	healed, err := Recover(dir, a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial := healed.Stats().Videos
+	if partial == 0 || partial >= 8 {
+		t.Fatalf("damaged recovery yielded %d videos, want a strict prefix", partial)
+	}
+	if ws, _ := healed.WALStats(); ws.Generation == 0 {
+		t.Fatal("Recover did not checkpoint past the damaged chain")
+	}
+	if err := healed.AddResult(tinyResult(t, "post-damage", 99, 3), "medicine"); err != nil {
+		t.Fatal(err)
+	}
+	// Crash again (Close releases the dir lock; writes nothing — see
+	// TestRecoverEquivalence).
+	if err := healed.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	again, err := Recover(dir, a, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	if got := again.Stats().Videos; got != partial+1 {
+		t.Fatalf("second recovery has %d videos, want %d", got, partial+1)
+	}
+	if again.Video("post-damage") == nil {
+		t.Fatal("post-damage registration stranded behind the broken segment")
+	}
+}
+
+// BenchmarkRecover10k measures crash recovery of 10_000 journaled
+// registrations (the ISSUE 3 acceptance bar is < 2s). Setup journals the
+// registrations once with fsync off (bulk load); each iteration then
+// replays the whole log into a fresh library.
+func BenchmarkRecover10k(b *testing.B) {
+	a, err := NewAnalyzer(Options{SkipEvents: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	opts := quietWAL()
+	opts.Sync = SyncNever
+	opts.SegmentBytes = 64 << 20
+	lib, err := Recover(dir, a, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 10_000
+	for i := 0; i < n; i++ {
+		if err := lib.AddResult(tinyResult(b, fmt.Sprintf("vid-%05d", i), int64(i), 2), "medicine"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := lib.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recovered, err := Recover(dir, a, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := recovered.Stats().Videos; got != n {
+			b.Fatalf("recovered %d videos, want %d", got, n)
+		}
+		recovered.Close()
+	}
+}

@@ -3,15 +3,22 @@
 // event scene queries, content-structure browsing and scalable-skimming
 // metadata, all behind multilevel access control.
 //
-// The library is populated from a snapshot (-load), by mining synthetic
-// corpus videos at startup (-bootstrap), or later through POST /v1/videos.
-// On SIGINT/SIGTERM the daemon shuts down gracefully and, when -save is
-// set, checkpoints the library atomically.
+// The library is populated from a durable data directory (-data-dir, with
+// write-ahead logging and crash recovery), from a snapshot (-load), by
+// mining synthetic corpus videos at startup (-bootstrap), or later through
+// POST /v1/videos. With -data-dir every registration is journaled before
+// it becomes visible, so a crash — OOM kill, power loss — loses no
+// completed registration (an ingest job is durable once it reports done;
+// a 202-accepted job that never ran can simply be resubmitted): the next
+// boot replays the newest checkpoint snapshot plus the log tail. Without
+// it, the daemon falls back to the legacy single-snapshot mode: on
+// SIGINT/SIGTERM it shuts down gracefully and, when -save is set,
+// checkpoints the library atomically.
 //
 // Usage:
 //
-//	classminerd -addr :8471 -bootstrap laparoscopy -scale 0.4 \
-//	    -token s3cret=dr.lee:clinician:surgeon -anon public -save lib.json
+//	classminerd -addr :8471 -data-dir ./data -bootstrap laparoscopy \
+//	    -scale 0.4 -token s3cret=dr.lee:clinician:surgeon -anon public
 //
 // Then:
 //
@@ -23,6 +30,7 @@
 //	curl localhost:8471/v1/events/dialog
 //	curl -H 'Authorization: Bearer s3cret' -X POST localhost:8471/v1/videos \
 //	    -d '{"corpus":"skin-examination","subcluster":"medicine","scale":0.4}'
+//	curl -H 'Authorization: Bearer admin' -X POST localhost:8471/v1/admin/checkpoint
 package main
 
 import (
@@ -77,56 +85,102 @@ func (t *tokenFlags) Set(v string) error {
 	return nil
 }
 
+// config collects every flag; run reads nothing else.
+type config struct {
+	addr       string
+	dataDir    string
+	load       string
+	save       string
+	bootstrap  string
+	scale      float64
+	seed       int64
+	subcluster string
+	anon       string
+	workers    int
+	queue      int
+	cacheSize  int
+	skipEvents bool
+	tokens     map[string]access.User
+
+	// durable-mode tuning (only read when dataDir is set)
+	fsync       string
+	fsyncEvery  time.Duration
+	segBytes    int64
+	ckptBytes   int64
+	ckptRecords int64
+}
+
 func main() {
 	var tokens tokenFlags
-	addr := flag.String("addr", ":8471", "listen address")
-	load := flag.String("load", "", "load a library snapshot (JSON written by -save or classminer -save)")
-	save := flag.String("save", "", "snapshot path written on shutdown and by POST /v1/admin/save")
-	bootstrap := flag.String("bootstrap", "", "comma-separated corpus videos to mine at startup, or \"all\"")
-	scale := flag.Float64("scale", 0.4, "bootstrap corpus scale")
-	seed := flag.Int64("seed", 2003, "bootstrap corpus seed")
-	subcluster := flag.String("subcluster", "medicine", "concept subcluster for bootstrapped videos")
-	anon := flag.String("anon", "public", "clearance for unauthenticated requests (\"none\" to require a token)")
-	workers := flag.Int("workers", 2, "ingest worker pool size")
-	queue := flag.Int("queue", 8, "ingest queue depth")
-	cacheSize := flag.Int("cache", 256, "search cache entries (negative disables)")
-	skipEvents := flag.Bool("skip-events", false, "mine structure only (faster startup, no event queries on bootstrapped videos)")
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8471", "listen address")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "durable data directory (write-ahead log + checkpoints; crash recovery on boot)")
+	flag.StringVar(&cfg.load, "load", "", "import a library snapshot (JSON written by -save or classminer -save)")
+	flag.StringVar(&cfg.save, "save", "", "snapshot path written on shutdown and by POST /v1/admin/save")
+	flag.StringVar(&cfg.bootstrap, "bootstrap", "", "comma-separated corpus videos to mine at startup, or \"all\"")
+	flag.Float64Var(&cfg.scale, "scale", 0.4, "bootstrap corpus scale")
+	flag.Int64Var(&cfg.seed, "seed", 2003, "bootstrap corpus seed")
+	flag.StringVar(&cfg.subcluster, "subcluster", "medicine", "concept subcluster for bootstrapped videos")
+	flag.StringVar(&cfg.anon, "anon", "public", "clearance for unauthenticated requests (\"none\" to require a token)")
+	flag.IntVar(&cfg.workers, "workers", 2, "ingest worker pool size")
+	flag.IntVar(&cfg.queue, "queue", 8, "ingest queue depth")
+	flag.IntVar(&cfg.cacheSize, "cache", 256, "search cache entries (negative disables)")
+	flag.BoolVar(&cfg.skipEvents, "skip-events", false, "mine structure only (faster startup, no event queries on bootstrapped videos)")
+	flag.StringVar(&cfg.fsync, "fsync", "always", "WAL fsync policy: always, interval or off")
+	flag.DurationVar(&cfg.fsyncEvery, "fsync-interval", 100*time.Millisecond, "background fsync period under -fsync=interval")
+	flag.Int64Var(&cfg.segBytes, "segment-bytes", 4<<20, "WAL segment rotation size")
+	flag.Int64Var(&cfg.ckptBytes, "checkpoint-bytes", 64<<20, "auto-checkpoint once this much WAL accumulates (negative disables)")
+	flag.Int64Var(&cfg.ckptRecords, "checkpoint-records", 10000, "auto-checkpoint once this many WAL records accumulate (negative disables)")
 	flag.Var(&tokens, "token", "token=name:clearance[:role1|role2] (repeatable)")
 	flag.Parse()
+	cfg.tokens = tokens.users
 
-	if err := run(*addr, *load, *save, *bootstrap, *scale, *seed, *subcluster,
-		*anon, *workers, *queue, *cacheSize, *skipEvents, tokens.users); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "classminerd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, load, save, bootstrap string, scale float64, seed int64,
-	subcluster, anon string, workers, queue, cacheSize int, skipEvents bool,
-	tokens map[string]access.User) error {
+// syncPolicy maps the -fsync flag to a WAL policy.
+func syncPolicy(name string) (s classminer.DurableOptions, err error) {
+	switch name {
+	case "always", "":
+		s.Sync = classminer.SyncAlways
+	case "interval":
+		s.Sync = classminer.SyncInterval
+	case "off", "never":
+		s.Sync = classminer.SyncNever
+	default:
+		err = fmt.Errorf("unknown -fsync policy %q (want always, interval or off)", name)
+	}
+	return s, err
+}
+
+func run(cfg config) error {
 	logger := log.New(os.Stderr, "classminerd: ", log.LstdFlags)
 
-	logger.Printf("training analyzer (skipEvents=%v)...", skipEvents)
-	analyzer, err := classminer.NewAnalyzer(classminer.Options{SkipEvents: skipEvents})
+	logger.Printf("training analyzer (skipEvents=%v)...", cfg.skipEvents)
+	analyzer, err := classminer.NewAnalyzer(classminer.Options{SkipEvents: cfg.skipEvents})
 	if err != nil {
 		return err
 	}
 
-	lib, err := buildLibrary(logger, analyzer, load, bootstrap, scale, seed, subcluster)
+	lib, err := buildLibrary(logger, analyzer, cfg)
 	if err != nil {
 		return err
 	}
+	defer lib.Close()
 
 	opts := server.Options{
-		Tokens:       tokens,
-		CacheSize:    cacheSize,
-		Workers:      workers,
-		QueueDepth:   queue,
-		SnapshotPath: save,
+		Tokens:       cfg.tokens,
+		CacheSize:    cfg.cacheSize,
+		Workers:      cfg.workers,
+		QueueDepth:   cfg.queue,
+		SnapshotPath: cfg.save,
 		Logf:         logger.Printf,
 	}
-	if anon != "" && anon != "none" {
-		clearance, err := access.ParseClearance(anon)
+	if cfg.anon != "" && cfg.anon != "none" {
+		clearance, err := access.ParseClearance(cfg.anon)
 		if err != nil {
 			return err
 		}
@@ -135,13 +189,13 @@ func run(addr, load, save, bootstrap string, scale float64, seed int64,
 	srv := server.New(lib, opts)
 	defer srv.Close()
 
-	httpSrv := &http.Server{Addr: addr, Handler: srv}
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Printf("serving %d videos on %s", lib.Stats().Videos, addr)
+		logger.Printf("serving %d videos on %s", lib.Stats().Videos, cfg.addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -157,61 +211,103 @@ func run(addr, load, save, bootstrap string, scale float64, seed int64,
 		logger.Printf("shutdown: %v", err)
 	}
 	srv.Close() // drain in-flight ingest jobs before snapshotting
-	if save != "" {
-		if err := store.WriteFileAtomic(save, lib.Save); err != nil {
+	if lib.Durable() {
+		// A clean shutdown is a free checkpoint: the next boot loads one
+		// snapshot and replays an empty tail.
+		if err := lib.Checkpoint(); err != nil {
+			logger.Printf("shutdown checkpoint: %v", err)
+		}
+	}
+	if cfg.save != "" {
+		if err := store.WriteFileAtomic(cfg.save, lib.Save); err != nil {
 			return fmt.Errorf("saving snapshot: %w", err)
 		}
-		logger.Printf("library snapshot saved to %s", save)
+		logger.Printf("library snapshot saved to %s", cfg.save)
 	}
 	return nil
 }
 
-// buildLibrary loads a snapshot and/or mines bootstrap corpus videos.
-func buildLibrary(logger *log.Logger, analyzer *classminer.Analyzer,
-	load, bootstrap string, scale float64, seed int64, subcluster string) (*classminer.Library, error) {
+// buildLibrary assembles the serving library: recover the durable data
+// directory (or start empty), import a legacy snapshot, mine bootstrap
+// corpus videos, and build the index. Every registration into a durable
+// library — imported, bootstrapped or later ingested — is journaled.
+func buildLibrary(logger *log.Logger, analyzer *classminer.Analyzer, cfg config) (*classminer.Library, error) {
 	var lib *classminer.Library
-	if load != "" {
-		f, err := os.Open(load)
+	if cfg.dataDir != "" {
+		wopts, err := syncPolicy(cfg.fsync)
 		if err != nil {
 			return nil, err
 		}
-		lib, err = classminer.LoadLibrary(f, analyzer)
-		f.Close()
+		wopts.SyncEvery = cfg.fsyncEvery
+		wopts.SegmentBytes = cfg.segBytes
+		wopts.CheckpointBytes = cfg.ckptBytes
+		wopts.CheckpointRecords = cfg.ckptRecords
+		wopts.Logf = logger.Printf
+		lib, err = classminer.Recover(cfg.dataDir, analyzer, wopts)
 		if err != nil {
-			return nil, fmt.Errorf("loading %s: %w", load, err)
+			return nil, fmt.Errorf("recovering %s: %w", cfg.dataDir, err)
 		}
-		logger.Printf("loaded %d videos from %s", lib.Stats().Videos, load)
+		logger.Printf("recovered %d videos from %s", lib.Stats().Videos, cfg.dataDir)
 	} else {
 		lib = classminer.NewLibrary(analyzer)
 	}
 
-	if bootstrap != "" {
-		names := strings.Split(bootstrap, ",")
-		if bootstrap == "all" {
+	if cfg.load != "" {
+		n, err := importSnapshot(lib, cfg.load)
+		if err != nil {
+			lib.Close()
+			return nil, fmt.Errorf("loading %s: %w", cfg.load, err)
+		}
+		logger.Printf("imported %d videos from %s", n, cfg.load)
+	}
+
+	if cfg.bootstrap != "" {
+		names := strings.Split(cfg.bootstrap, ",")
+		if cfg.bootstrap == "all" {
 			names = synth.CorpusNames()
 		}
 		for _, name := range names {
 			name = strings.TrimSpace(name)
 			if lib.Video(name) != nil {
-				continue // already in the snapshot
+				continue // already recovered or imported
 			}
-			script := synth.CorpusScript(name, scale, seed)
+			script := synth.CorpusScript(name, cfg.scale, cfg.seed)
 			if script == nil {
+				lib.Close()
 				return nil, fmt.Errorf("unknown corpus video %q (have %v)", name, synth.CorpusNames())
 			}
-			v, err := synth.Generate(synth.DefaultConfig(), script, seed)
+			v, err := synth.Generate(synth.DefaultConfig(), script, cfg.seed)
 			if err != nil {
+				lib.Close()
 				return nil, err
 			}
 			logger.Printf("mining %q (%d frames)...", name, len(v.Frames))
-			if _, err := lib.AddVideo(v, subcluster); err != nil {
+			if _, err := lib.AddVideo(v, cfg.subcluster); err != nil {
+				lib.Close()
 				return nil, err
 			}
 		}
+	}
+
+	if lib.Size() > 0 && lib.IndexStale() {
 		if err := lib.BuildIndex(); err != nil {
+			lib.Close()
 			return nil, err
 		}
 		logger.Printf("index built over %d shots", lib.Stats().IndexedShots)
 	}
 	return lib, nil
+}
+
+// importSnapshot registers every video of a legacy single-file snapshot
+// that the library does not already hold, reporting how many were new. On
+// a durable library the imports are journaled like any registration, so
+// -load doubles as a one-shot migration into -data-dir.
+func importSnapshot(lib *classminer.Library, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	return lib.ImportSnapshot(f, true)
 }

@@ -172,7 +172,7 @@ func runSec62(cfg eval.CorpusConfig) error {
 	fmt.Println("== §6.2: cluster-based indexing vs flat scan (Eqs. 24–25) ==")
 	fmt.Println("N       flat float-ops  hier float-ops  ratio   flat µs  hier µs  ranked(flat/hier)  top-agree")
 	for _, r := range rows {
-		ratio := float64(r.FlatFloatOps) / float64(maxInt(r.HierFloatOps, 1))
+		ratio := float64(r.FlatFloatOps) / float64(max(r.HierFloatOps, 1))
 		fmt.Printf("%-6d  %14d  %14d  %5.1fx  %7d  %7d  %7d/%-7d  %.2f\n",
 			r.N, r.FlatFloatOps, r.HierFloatOps, ratio,
 			r.FlatNanos/1000, r.HierNanos/1000, r.FlatRanked, r.HierRanked, r.TopAgree)
@@ -213,11 +213,4 @@ func cfgSeed(c eval.CorpusConfig) int64 {
 		return 2003
 	}
 	return c.Seed
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -74,10 +74,3 @@ func main() {
 	fmt.Println("browse tree:")
 	fmt.Print(tree.Render())
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

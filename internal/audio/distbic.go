@@ -118,7 +118,7 @@ func SegmentSpeakers(samples []float64, sampleRate int, cfg SegmentConfig) ([]Tu
 		if frame-lastChange < win { // keep turns at least one window long
 			continue
 		}
-		left := mfcc[maxOf(frame-win, lastChange):frame]
+		left := mfcc[max(frame-win, lastChange):frame]
 		hi := frame + win
 		if hi > len(mfcc) {
 			hi = len(mfcc)
@@ -163,11 +163,4 @@ func glr(a, b [][]float64) (float64, error) {
 	}
 	na, nb := float64(len(a)), float64(len(b))
 	return (na+nb)/2*ldAll - na/2*ldA - nb/2*ldB, nil
-}
-
-func maxOf(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,0 +1,221 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"classminer"
+	"classminer/internal/store"
+)
+
+// tinySavedResult fabricates a small mined result for ingestion tests
+// (deterministic features, one group, one scene) without running the
+// mining pipeline.
+func tinySavedResult(name string, seed int64, shots int) *store.SavedResult {
+	rng := rand.New(rand.NewSource(seed))
+	sr := &store.SavedResult{
+		Version: store.FormatVersion, VideoName: name, FPS: 25, TotalFrames: shots * 50,
+	}
+	feat := func(n int) []float64 {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = rng.Float64()
+		}
+		return v
+	}
+	group := store.SavedGroup{Index: 0, RepShots: []int{0}}
+	for i := 0; i < shots; i++ {
+		sr.Shots = append(sr.Shots, store.SavedShot{
+			Index: i, Start: i * 50, End: (i+1)*50 - 1, RepFrame: i * 50,
+			Color: feat(8), Texture: feat(4),
+		})
+		group.Shots = append(group.Shots, i)
+	}
+	sr.Groups = []store.SavedGroup{group}
+	sr.Scenes = []store.SavedScene{{Index: 0, Groups: []int{0}, RepGroup: 0}}
+	return sr
+}
+
+// ingestAndWait pushes one saved result through POST /v1/videos and polls
+// its job to completion, so registrations land in a deterministic order.
+func ingestAndWait(t *testing.T, s *Server, name string, seed int64) {
+	t.Helper()
+	req := map[string]any{"subcluster": "medicine", "saved": tinySavedResult(name, seed, 3+int(seed)%3)}
+	var job Job
+	if code := do(t, s, http.MethodPost, "/v1/videos", "admin-tok", req, &job); code != http.StatusAccepted {
+		t.Fatalf("ingest %s = %d", name, code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var got Job
+		if code := do(t, s, http.MethodGet, "/v1/jobs/"+job.ID, "admin-tok", nil, &got); code != http.StatusOK {
+			t.Fatalf("job poll = %d", code)
+		}
+		switch got.Status {
+		case JobDone:
+			return
+		case JobFailed:
+			t.Fatalf("ingest %s failed: %s", name, got.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("ingest %s stuck in %s", name, got.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// searchBody builds a fixed /v1/search request from a deterministic query.
+func searchBody(qseed int64) map[string]any {
+	rng := rand.New(rand.NewSource(qseed))
+	q := make([]float64, 12)
+	for i := range q {
+		q[i] = rng.Float64()
+	}
+	return map[string]any{"query": q, "k": 5}
+}
+
+// TestKillAndRestartServesIdenticalSearches is the ISSUE 3 acceptance
+// test: register results through the HTTP ingest path into a durable
+// library, abandon the process state SIGKILL-style (no shutdown save, no
+// Close), recover from the data directory, and verify the recovered
+// library serves byte-identical /v1/search results for a fixed query set.
+func TestKillAndRestartServesIdenticalSearches(t *testing.T) {
+	a, err := classminer.NewAnalyzer(classminer.Options{SkipEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	wopts := classminer.DurableOptions{CheckpointBytes: -1, CheckpointRecords: -1}
+	lib, err := classminer.Recover(dir, a, wopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cache disabled so both runs compute every answer.
+	s := New(lib, Options{Tokens: testTokens(), CacheSize: -1})
+
+	const n = 8
+	for i := 0; i < n; i++ {
+		ingestAndWait(t, s, fmt.Sprintf("ingested-%02d", i), int64(i))
+	}
+	var before []string
+	for q := 0; q < 6; q++ {
+		w := doRaw(t, s, http.MethodPost, "/v1/search", "admin-tok", searchBody(int64(q)))
+		if w.Code != http.StatusOK {
+			t.Fatalf("search %d = %d: %s", q, w.Code, w.Body.String())
+		}
+		before = append(before, w.Body.String())
+	}
+	// SIGKILL-style abandonment: the pool stops and the library is never
+	// saved or checkpointed — recovery may use only what the WAL already
+	// made durable. (Close releases the data-dir flock exactly as process
+	// death would; under the default SyncAlways it writes nothing, so the
+	// on-disk state is byte-identical to a kill.)
+	s.pool.Close()
+	if err := lib.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, lib = nil, nil
+
+	recovered, err := classminer.Recover(dir, a, wopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if got := recovered.Stats().Videos; got != n {
+		t.Fatalf("recovered %d videos, want %d", got, n)
+	}
+	if err := recovered.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(recovered, Options{Tokens: testTokens(), CacheSize: -1})
+	t.Cleanup(s2.Close)
+	for q := 0; q < 6; q++ {
+		w := doRaw(t, s2, http.MethodPost, "/v1/search", "admin-tok", searchBody(int64(q)))
+		if w.Code != http.StatusOK {
+			t.Fatalf("recovered search %d = %d", q, w.Code)
+		}
+		if got := w.Body.String(); got != before[q] {
+			t.Fatalf("query %d diverged after recovery:\nbefore: %s\nafter:  %s", q, before[q], got)
+		}
+	}
+}
+
+// TestAdminCheckpointEndpoint drives POST /v1/admin/checkpoint: admin-only,
+// 501 on a non-durable library, and on success the WAL lag drops to zero
+// and the generation advances.
+func TestAdminCheckpointEndpoint(t *testing.T) {
+	a, err := classminer.NewAnalyzer(classminer.Options{SkipEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := classminer.Recover(t.TempDir(), a, classminer.DurableOptions{CheckpointBytes: -1, CheckpointRecords: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lib.Close() })
+	s := New(lib, Options{Tokens: testTokens()})
+	t.Cleanup(s.Close)
+
+	ingestAndWait(t, s, "ckpt-video", 5)
+
+	if code := do(t, s, http.MethodPost, "/v1/admin/checkpoint", "clin-tok", nil, nil); code != http.StatusForbidden {
+		t.Fatalf("clinician checkpoint = %d, want 403", code)
+	}
+	var stats struct {
+		Library classminer.LibraryStats `json:"library"`
+	}
+	if code := do(t, s, http.MethodGet, "/v1/stats", "admin-tok", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	if stats.Library.WAL == nil || stats.Library.WAL.Records != 1 {
+		t.Fatalf("pre-checkpoint WAL stats = %+v", stats.Library.WAL)
+	}
+	var resp struct {
+		Checkpointed bool                `json:"checkpointed"`
+		WAL          classminer.WALStats `json:"wal"`
+	}
+	if code := do(t, s, http.MethodPost, "/v1/admin/checkpoint", "admin-tok", nil, &resp); code != http.StatusOK {
+		t.Fatalf("admin checkpoint = %d", code)
+	}
+	if !resp.Checkpointed || resp.WAL.Records != 0 || resp.WAL.Generation != 1 {
+		t.Fatalf("checkpoint response = %+v", resp)
+	}
+	if code := do(t, s, http.MethodGet, "/v1/stats", "admin-tok", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats = %d", code)
+	}
+	if stats.Library.WAL.Records != 0 || stats.Library.WAL.Generation != 1 {
+		t.Fatalf("post-checkpoint WAL stats = %+v", stats.Library.WAL)
+	}
+}
+
+// TestAdminCheckpointNotDurable hits the endpoint on a snapshot-mode
+// library.
+func TestAdminCheckpointNotDurable(t *testing.T) {
+	s := newTestServer(t, Options{})
+	if code := do(t, s, http.MethodPost, "/v1/admin/checkpoint", "admin-tok", nil, nil); code != http.StatusNotImplemented {
+		t.Fatalf("non-durable checkpoint = %d, want 501", code)
+	}
+}
+
+// doRaw is do without response decoding: byte-identical body comparison is
+// the point of the kill-and-restart test.
+func doRaw(t testing.TB, s *Server, method, path, token string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := httptest.NewRequest(method, path, bytes.NewReader(b))
+	if token != "" {
+		r.Header.Set("X-Api-Token", token)
+	}
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	return w
+}

@@ -593,3 +593,26 @@ func (s *Server) handleAdminSave(w http.ResponseWriter, r *http.Request) {
 	s.opts.Logf("library snapshot saved to %s", s.opts.SnapshotPath)
 	writeJSON(w, http.StatusOK, map[string]string{"saved": s.opts.SnapshotPath})
 }
+
+// --- POST /v1/admin/checkpoint ---------------------------------------------
+
+// handleAdminCheckpoint folds the durable library's write-ahead log into a
+// fresh snapshot on demand (the background checkpointer handles the
+// threshold-driven case). Only meaningful when the daemon runs with
+// -data-dir.
+func (s *Server) handleAdminCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if !s.requireClearance(w, r, classminer.Administrator) {
+		return
+	}
+	if !s.lib.Durable() {
+		writeError(w, http.StatusNotImplemented, "library is not durable (start with -data-dir)")
+		return
+	}
+	if err := s.lib.Checkpoint(); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	ws, _ := s.lib.WALStats()
+	s.opts.Logf("admin checkpoint: generation %d", ws.Generation)
+	writeJSON(w, http.StatusOK, map[string]any{"checkpointed": true, "wal": ws})
+}

@@ -145,6 +145,8 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 		})
 	case path == "/v1/admin/save":
 		s.post(w, r, s.handleAdminSave)
+	case path == "/v1/admin/checkpoint":
+		s.post(w, r, s.handleAdminCheckpoint)
 	default:
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no route %s", r.URL.Path))
 	}

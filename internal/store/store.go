@@ -14,6 +14,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"classminer/internal/core"
 	"classminer/internal/skim"
@@ -23,8 +24,8 @@ import (
 // FormatVersion guards against decoding incompatible files.
 const FormatVersion = 1
 
-// savedShot mirrors vidmodel.Shot.
-type savedShot struct {
+// SavedShot mirrors vidmodel.Shot.
+type SavedShot struct {
 	Index    int       `json:"index"`
 	Start    int       `json:"start"`
 	End      int       `json:"end"`
@@ -33,23 +34,24 @@ type savedShot struct {
 	Texture  []float64 `json:"texture"`
 }
 
-// savedGroup references shots by their position in the shot table.
-type savedGroup struct {
+// SavedGroup references shots by their position in the shot table.
+type SavedGroup struct {
 	Index    int   `json:"index"`
 	Kind     int   `json:"kind"`
 	Shots    []int `json:"shots"`
 	RepShots []int `json:"repShots"`
 }
 
-// savedScene references groups by position in the group table.
-type savedScene struct {
+// SavedScene references groups by position in the group table.
+type SavedScene struct {
 	Index    int   `json:"index"`
 	Groups   []int `json:"groups"`
 	RepGroup int   `json:"repGroup"` // -1 when absent
 	Event    int   `json:"event"`
 }
 
-type savedCluster struct {
+// SavedCluster references scenes by position in the scene table.
+type SavedCluster struct {
 	Index    int   `json:"index"`
 	Scenes   []int `json:"scenes"` // positions in the scene table
 	RepGroup int   `json:"repGroup"`
@@ -61,11 +63,11 @@ type SavedResult struct {
 	VideoName   string         `json:"videoName"`
 	FPS         float64        `json:"fps"`
 	TotalFrames int            `json:"totalFrames"`
-	Shots       []savedShot    `json:"shots"`
-	Groups      []savedGroup   `json:"groups"`
-	Scenes      []savedScene   `json:"scenes"`
-	Discarded   []savedScene   `json:"discarded"`
-	Clusters    []savedCluster `json:"clusters"`
+	Shots       []SavedShot    `json:"shots"`
+	Groups      []SavedGroup   `json:"groups"`
+	Scenes      []SavedScene   `json:"scenes"`
+	Discarded   []SavedScene   `json:"discarded"`
+	Clusters    []SavedCluster `json:"clusters"`
 	Events      map[int]int    `json:"events"` // scene index -> event kind
 }
 
@@ -87,14 +89,14 @@ func EncodeResult(r *core.Result) (*SavedResult, error) {
 	shotPos := map[*vidmodel.Shot]int{}
 	for i, s := range r.Shots {
 		shotPos[s] = i
-		out.Shots = append(out.Shots, savedShot{
+		out.Shots = append(out.Shots, SavedShot{
 			Index: s.Index, Start: s.Start, End: s.End, RepFrame: s.RepFrame,
 			Color: s.Color, Texture: s.Texture,
 		})
 	}
 	groupPos := map[*vidmodel.Group]int{}
-	encodeGroup := func(g *vidmodel.Group) (savedGroup, error) {
-		sg := savedGroup{Index: g.Index, Kind: int(g.Kind)}
+	encodeGroup := func(g *vidmodel.Group) (SavedGroup, error) {
+		sg := SavedGroup{Index: g.Index, Kind: int(g.Kind)}
 		for _, s := range g.Shots {
 			p, ok := shotPos[s]
 			if !ok {
@@ -117,8 +119,8 @@ func EncodeResult(r *core.Result) (*SavedResult, error) {
 		}
 		out.Groups = append(out.Groups, sg)
 	}
-	encodeScene := func(sc *vidmodel.Scene) (savedScene, error) {
-		ss := savedScene{Index: sc.Index, RepGroup: -1, Event: int(sc.Event)}
+	encodeScene := func(sc *vidmodel.Scene) (SavedScene, error) {
+		ss := SavedScene{Index: sc.Index, RepGroup: -1, Event: int(sc.Event)}
 		for _, g := range sc.Groups {
 			p, ok := groupPos[g]
 			if !ok {
@@ -158,7 +160,7 @@ func EncodeResult(r *core.Result) (*SavedResult, error) {
 		out.Discarded = append(out.Discarded, ss)
 	}
 	for _, c := range r.Clusters {
-		sc := savedCluster{Index: c.Index, RepGroup: -1}
+		sc := SavedCluster{Index: c.Index, RepGroup: -1}
 		for _, s := range c.Scenes {
 			if p, ok := scenePos[s]; ok {
 				sc.Scenes = append(sc.Scenes, p)
@@ -218,7 +220,7 @@ func DecodeResult(sr *SavedResult) (*core.Result, error) {
 		}
 		groups[i] = g
 	}
-	decodeScene := func(ss savedScene) (*vidmodel.Scene, error) {
+	decodeScene := func(ss SavedScene) (*vidmodel.Scene, error) {
 		sc := &vidmodel.Scene{Index: ss.Index, Event: vidmodel.EventKind(ss.Event)}
 		for _, p := range ss.Groups {
 			if p < 0 || p >= len(groups) {
@@ -309,23 +311,27 @@ func ReadLibrary(r io.Reader) (*SavedLibrary, error) {
 	return &lib, nil
 }
 
-// WriteFileAtomic streams write into a temp file in path's directory and
-// renames it into place, so a crash mid-save (or a concurrent reader) never
-// observes a truncated snapshot. This is how the serving daemon checkpoints
-// its library.
+// WriteFileAtomic streams write into a temp file in path's directory,
+// renames it into place, and fsyncs the directory, so a crash mid-save (or
+// a concurrent reader) never observes a truncated snapshot and a completed
+// save survives power loss — rename alone only becomes durable once the
+// directory entry is flushed. This is how the serving daemon and the WAL
+// checkpoint manager persist snapshots and manifests.
 func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	// Both defers are no-ops after success (the rename consumes the file,
+	// the explicit Close below runs first); on every error path they drop
+	// the temp file instead of littering the data directory.
+	defer os.Remove(tmp.Name())
+	defer tmp.Close()
 	if err := write(tmp); err != nil {
-		tmp.Close()
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
 		return fmt.Errorf("store: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
@@ -334,12 +340,28 @@ func WriteFileAtomic(path string, write func(io.Writer) error) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
-	return nil
+	return SyncDir(dir)
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// SyncDir fsyncs a directory, making preceding renames and file creations
+// in it durable. Callers that require crash consistency across a rename
+// (WriteFileAtomic, WAL segment rotation) must not skip this: POSIX only
+// guarantees the new directory entry reaches stable storage once the
+// directory itself is synced.
+func SyncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		// Directories cannot be fsynced through a read-only handle on
+		// Windows; NTFS metadata operations are journaled anyway, so the
+		// durability gap the sync closes on POSIX does not apply.
+		return nil
 	}
-	return b
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", dir, err)
+	}
+	return nil
 }

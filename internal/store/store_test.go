@@ -184,7 +184,7 @@ func TestDecodeBadReferences(t *testing.T) {
 	}
 	// Corrupt a group's shot reference.
 	corrupt := *saved
-	corrupt.Groups = append([]savedGroup(nil), saved.Groups...)
+	corrupt.Groups = append([]SavedGroup(nil), saved.Groups...)
 	corrupt.Groups[0].Shots = []int{99999}
 	if _, err := DecodeResult(&corrupt); err == nil {
 		t.Fatal("want bad-reference error")
@@ -231,5 +231,14 @@ func TestWriteFileAtomic(t *testing.T) {
 		t.Fatal("target clobbered:", err)
 	} else {
 		f.Close()
+	}
+}
+
+func TestSyncDir(t *testing.T) {
+	if err := SyncDir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if err := SyncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("want error for a missing directory")
 	}
 }

@@ -86,7 +86,7 @@ func Generate(cfg Config, script *Script, seed int64) (*vidmodel.Video, error) {
 				video.Truth.SpeakerTurn = append(video.Truth.SpeakerTurn, vidmodel.SpeakerSegment{
 					StartFrame: shotStart,
 					EndFrame:   shotStart + shot.Frames,
-					SpeakerID:  maxInt(shot.Speaker, 0),
+					SpeakerID:  max(shot.Speaker, 0),
 				})
 			}
 		}
@@ -120,13 +120,6 @@ func applyDissolve(v *vidmodel.Video, frames int) {
 		t := 1 - float64(i)/float64(frames+1)
 		v.Frames[idx] = blend(v.Frames[idx], target, t)
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // TrainingClips generates labelled audio clips for fitting the

@@ -132,7 +132,7 @@ func classifyFrame(f *vidmodel.Frame) SpecialKind {
 				dark++
 				rowDark++
 			}
-			maxC, minC := maxByte(r, g, b), minByte(r, g, b)
+			maxC, minC := max(r, g, b), min(r, g, b)
 			if maxC > 120 && float64(maxC-minC) > 0.35*float64(maxC) {
 				saturated++
 			}
@@ -176,26 +176,4 @@ func classifyFrame(f *vidmodel.Frame) SpecialKind {
 	default:
 		return KindNatural
 	}
-}
-
-func maxByte(a, b, c byte) byte {
-	m := a
-	if b > m {
-		m = b
-	}
-	if c > m {
-		m = c
-	}
-	return m
-}
-
-func minByte(a, b, c byte) byte {
-	m := a
-	if b < m {
-		m = b
-	}
-	if c < m {
-		m = c
-	}
-	return m
 }

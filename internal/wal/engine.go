@@ -1,0 +1,595 @@
+package wal
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"classminer/internal/store"
+)
+
+// Engine is the durable storage engine over one data directory: an
+// append-only segmented log plus a checkpoint manager. The intended
+// lifecycle is
+//
+//	eng, _ := wal.Open(dir, opts)     // repairs torn tail, prunes leftovers
+//	io    := eng.SnapshotPath()       // load the newest snapshot, if any
+//	eng.Replay(apply)                 // apply the log tail on top of it
+//	eng.SetSource(save)               // teach checkpoints how to snapshot
+//	eng.Append(record)                // journal each mutation before applying
+//	eng.Checkpoint()                  // or let the background thresholds fire
+//	eng.Close()
+//
+// All methods are safe for concurrent use. Append ordering is the caller's
+// replay ordering.
+type Engine struct {
+	dir  string
+	opts Options
+
+	// cpMu serialises checkpoints (admin-triggered and background) without
+	// stalling appends, which only need mu.
+	cpMu sync.Mutex
+
+	mu         sync.Mutex
+	lock       *os.File // held flock on the data dir (see lockDataDir)
+	active     *os.File
+	activeIdx  uint64
+	activeSize int64
+	segStart   uint64 // oldest live segment (== manifest.FirstSegment)
+	man        manifest
+	lagRecords int64 // appended since the last checkpoint
+	lagBytes   int64
+	damaged    bool // Replay stopped early at a damaged or missing segment
+	dirty      bool // unsynced writes on the active segment
+	wedged     bool // an append failure could not be undone; log refuses writes
+	buf        []byte
+	source     func(io.Writer) error
+	closed     bool
+
+	kick chan struct{} // nudges the background checkpointer
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Open opens (creating if needed) the data directory and repairs it: stale
+// segments and snapshots a finished checkpoint no longer needs are pruned,
+// and a torn tail on the active segment — the signature of a crash mid-
+// append — is truncated away so the log ends on a record boundary. The
+// returned engine is ready to Replay and Append.
+func Open(dir string, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	lock, err := lockDataDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	defer func() {
+		if !ok {
+			lock.Close()
+		}
+	}()
+	man, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		dir:      dir,
+		opts:     opts,
+		lock:     lock,
+		man:      man,
+		segStart: man.FirstSegment,
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	if err := e.pruneStale(); err != nil {
+		return nil, err
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	e.activeIdx = man.FirstSegment
+	if n := len(segs); n > 0 {
+		e.activeIdx = segs[n-1]
+	}
+	for _, idx := range segs {
+		if fi, err := os.Stat(e.segPath(idx)); err == nil {
+			e.lagBytes += fi.Size()
+		}
+	}
+	if err := e.openActive(); err != nil {
+		return nil, err
+	}
+	// Make the directory entries created above (the data dir on first use,
+	// the active segment on a fresh log) durable before any record is
+	// acknowledged — an fsynced record in a file whose directory entry is
+	// lost to power loss is just as gone as an unsynced one.
+	if err := store.SyncDir(e.dir); err != nil {
+		e.active.Close()
+		return nil, err
+	}
+	if parent := filepath.Dir(filepath.Clean(dir)); parent != dir {
+		if err := store.SyncDir(parent); err != nil {
+			e.active.Close()
+			return nil, err
+		}
+	}
+	if opts.Sync == SyncInterval {
+		e.wg.Add(1)
+		go e.syncLoop()
+	}
+	e.wg.Add(1)
+	go e.checkpointLoop()
+	ok = true
+	return e, nil
+}
+
+func (e *Engine) segPath(idx uint64) string { return filepath.Join(e.dir, segmentName(idx)) }
+
+// pruneStale removes files superseded by the manifest: segments older than
+// FirstSegment and snapshots other than the current one. These exist only
+// when a crash interrupted a checkpoint between committing MANIFEST and
+// finishing the prune (or landed an orphan snapshot before the commit).
+func (e *Engine) pruneStale() error {
+	segs, err := listSegments(e.dir)
+	if err != nil {
+		return err
+	}
+	for _, idx := range segs {
+		if idx < e.man.FirstSegment {
+			e.opts.Logf("wal: pruning stale segment %s", segmentName(idx))
+			if err := os.Remove(e.segPath(idx)); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+		}
+	}
+	snaps, err := listSnapshots(e.dir)
+	if err != nil {
+		return err
+	}
+	for _, gen := range snaps {
+		if name := snapshotName(gen); name != e.man.Snapshot {
+			e.opts.Logf("wal: pruning stale snapshot %s", name)
+			if err := os.Remove(filepath.Join(e.dir, name)); err != nil {
+				return fmt.Errorf("wal: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// openActive repairs the active segment's tail and opens it for appending,
+// creating it when the directory has no live segments yet.
+func (e *Engine) openActive() error {
+	path := e.segPath(e.activeIdx)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	valid, _, damage, scanErr := scanLog(bufio.NewReader(f), nil)
+	if scanErr != nil {
+		// A real read failure, not a torn tail: truncating here would
+		// destroy records that may be perfectly intact. Fail the open and
+		// let the operator retry.
+		f.Close()
+		return fmt.Errorf("wal: scanning %s: %w", segmentName(e.activeIdx), scanErr)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if valid < fi.Size() {
+		why := "torn"
+		if damage != nil {
+			why = damage.Error()
+		}
+		e.opts.Logf("wal: truncating %s from %d to %d bytes (%s)", segmentName(e.activeIdx), fi.Size(), valid, why)
+		e.lagBytes -= fi.Size() - valid
+		if err := f.Truncate(valid); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("wal: %w", err)
+		}
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: %w", err)
+	}
+	e.active = f
+	e.activeSize = valid
+	return nil
+}
+
+// SnapshotPath returns the current checkpoint snapshot's path, or "" when
+// no checkpoint has completed yet (recovery is then a pure log replay).
+func (e *Engine) SnapshotPath() string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.man.Snapshot == "" {
+		return ""
+	}
+	return filepath.Join(e.dir, e.man.Snapshot)
+}
+
+// Replay yields every intact record appended since the current snapshot, in
+// append order. It stops cleanly at the first torn or corrupt frame (a
+// fully damaged segment chain loses its tail — that is surfaced via Logf
+// and ReplayDamaged, not an error, because the valid prefix is still the
+// best available state). An error from fn aborts the replay and is
+// returned. Replay is meant to run once, after Open and before the first
+// Append.
+func (e *Engine) Replay(fn func(payload []byte) error) error {
+	e.mu.Lock()
+	start, end := e.segStart, e.activeIdx
+	e.mu.Unlock()
+	var records int64
+	damaged := false
+	for idx := start; idx <= end; idx++ {
+		f, err := os.Open(e.segPath(idx))
+		if os.IsNotExist(err) {
+			e.opts.Logf("wal: segment %s missing; replay stops (records after it are unreachable)", segmentName(idx))
+			damaged = true
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("wal: %w", err)
+		}
+		_, n, damage, scanErr := scanLog(bufio.NewReader(f), fn)
+		f.Close()
+		records += n
+		if scanErr != nil {
+			// An fn failure or a real I/O error — either way, not log
+			// damage: propagate rather than heal away readable records.
+			return scanErr
+		}
+		if damage != nil {
+			e.opts.Logf("wal: %s damaged after %d records (%v); replay stops", segmentName(idx), n, damage)
+			// Damage in the active segment would have been truncated away
+			// by openActive; mid-chain damage strands the segments after it.
+			damaged = idx < end
+			break
+		}
+	}
+	e.mu.Lock()
+	e.lagRecords = records
+	e.damaged = damaged
+	e.mu.Unlock()
+	return nil
+}
+
+// ReplayDamaged reports whether the last Replay stopped before the end of
+// the segment chain (a damaged or missing sealed segment). The records
+// beyond the damage point are unreachable by every future replay, and new
+// appends land beyond it too — so a caller that recovered successfully
+// should checkpoint immediately: the fresh snapshot captures the recovered
+// state, reseats the log past the damage, and prunes the broken segments.
+func (e *Engine) ReplayDamaged() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.damaged
+}
+
+// SetSource installs the snapshot writer checkpoints call to serialise the
+// current library state. Until a source is set, Checkpoint fails and the
+// background thresholds stay quiet.
+//
+// Ordering contract: when the source runs it must observe the state of
+// every record already appended, or a checkpoint could prune a segment
+// whose record the snapshot missed. Callers get this for free by applying
+// each appended record under the same lock the source reads under — which
+// is exactly how Library.register (append + mutate under the write lock)
+// pairs with Library.Save (snapshot under the read lock).
+func (e *Engine) SetSource(write func(io.Writer) error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.source = write
+	// A recovered log can already be past the auto-checkpoint thresholds
+	// (the crash happened with lag accumulated); evaluate them now rather
+	// than waiting for the next append, which on a read-only deployment
+	// might never come.
+	if e.source != nil && e.lagExceededLocked() {
+		select {
+		case e.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Append journals one record. The payload is on the log (and, under
+// SyncAlways, on stable storage) before Append returns, so callers may
+// apply the mutation to in-memory state the moment it does. Appending an
+// empty payload is an error (the framing reserves it for corruption
+// detection).
+func (e *Engine) Append(payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("wal: refusing to append empty record")
+	}
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("wal: record payload %d bytes exceeds %d", len(payload), MaxRecordBytes)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	if e.wedged {
+		return fmt.Errorf("wal: engine wedged by an earlier unrecoverable write failure")
+	}
+	if e.activeSize >= e.opts.SegmentBytes {
+		if err := e.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	e.buf = appendRecord(e.buf[:0], payload)
+	if _, err := e.active.Write(e.buf); err != nil {
+		e.undoAppendLocked()
+		return fmt.Errorf("wal: %w", err)
+	}
+	if e.opts.Sync == SyncAlways {
+		if err := e.active.Sync(); err != nil {
+			// The bytes may or may not have reached the platter; a record
+			// whose acknowledgement failed must never be replayed, so claw
+			// the frame back off the log before reporting the failure.
+			e.undoAppendLocked()
+			return fmt.Errorf("wal: %w", err)
+		}
+	} else {
+		e.dirty = true
+	}
+	e.activeSize += int64(len(e.buf))
+	e.lagRecords++
+	e.lagBytes += int64(len(e.buf))
+	if e.source != nil && e.lagExceededLocked() {
+		select {
+		case e.kick <- struct{}{}:
+		default: // a checkpoint is already pending
+		}
+	}
+	return nil
+}
+
+// undoAppendLocked truncates the active segment back to the last
+// acknowledged record after a failed write or fsync, so the failure the
+// caller sees and the log recovery will replay agree. If even the
+// truncation fails the two can no longer be reconciled: the engine wedges
+// (all future Appends refused) rather than risk resurrecting a
+// registration that was reported failed. Callers hold e.mu.
+func (e *Engine) undoAppendLocked() {
+	if _, err := e.active.Seek(e.activeSize, io.SeekStart); err == nil {
+		if err := e.active.Truncate(e.activeSize); err == nil {
+			// The truncation itself must reach the disk: a page-cache-only
+			// truncate can be lost to power failure, leaving the complete
+			// frame on disk for replay to resurrect.
+			if err := e.active.Sync(); err == nil {
+				return
+			}
+		}
+	}
+	e.wedged = true
+	e.opts.Logf("wal: could not truncate %s back to %d bytes after a failed append; engine wedged",
+		segmentName(e.activeIdx), e.activeSize)
+}
+
+func (e *Engine) lagExceededLocked() bool {
+	return (e.opts.CheckpointBytes > 0 && e.lagBytes >= e.opts.CheckpointBytes) ||
+		(e.opts.CheckpointRecords > 0 && e.lagRecords >= e.opts.CheckpointRecords)
+}
+
+// rotateLocked seals the active segment and starts the next one. Callers
+// hold e.mu. State is only committed once the new segment is fully open
+// and durable, so a failed rotation (disk full, fsync error) leaves the
+// engine still appending to the old segment instead of wedged on a closed
+// file.
+func (e *Engine) rotateLocked() error {
+	// Sync unconditionally, not just when dirty: syncLoop clears the dirty
+	// flag before it fsyncs outside the lock, so trusting the flag here
+	// could seal a segment whose records are still only in page cache.
+	if err := e.active.Sync(); err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	e.dirty = false
+	next := e.activeIdx + 1
+	f, err := os.OpenFile(e.segPath(next), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	// Make the new segment's directory entry durable: recovery iterates
+	// segment indices, so a hole left by power loss would end replay early.
+	// On failure, undo the creation so a retry's O_EXCL does not trip over
+	// this attempt's leftover.
+	if err := store.SyncDir(e.dir); err != nil {
+		f.Close()
+		os.Remove(e.segPath(next))
+		return err
+	}
+	old := e.active
+	e.active = f
+	e.activeIdx = next
+	e.activeSize = 0
+	if err := old.Close(); err != nil {
+		// The old segment is already synced; nothing is lost.
+		e.opts.Logf("wal: closing sealed %s: %v", segmentName(next-1), err)
+	}
+	return nil
+}
+
+// Checkpoint writes a full snapshot through the installed source, commits
+// it by replacing MANIFEST, and prunes the log segments the snapshot
+// superseded. Records appended while the snapshot is being written stay on
+// the log and are replayed over it on recovery (the library's registration
+// replay skips the duplicates), so checkpointing never blocks appends.
+func (e *Engine) Checkpoint() error {
+	e.cpMu.Lock()
+	defer e.cpMu.Unlock()
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	src := e.source
+	if src == nil {
+		e.mu.Unlock()
+		return fmt.Errorf("wal: no snapshot source installed")
+	}
+	// Seal the log at a cut point: everything before the new active
+	// segment will be covered by the snapshot about to be taken (the
+	// source serialises state that includes at least those records).
+	if err := e.rotateLocked(); err != nil {
+		e.mu.Unlock()
+		return err
+	}
+	cut := e.activeIdx
+	gen := e.man.Generation + 1
+	prevRecords, prevBytes := e.lagRecords, e.lagBytes
+	e.lagRecords, e.lagBytes = 0, 0
+	e.mu.Unlock()
+
+	restoreLag := func() {
+		e.mu.Lock()
+		e.lagRecords += prevRecords
+		e.lagBytes += prevBytes
+		e.mu.Unlock()
+	}
+	snap := snapshotName(gen)
+	if err := store.WriteFileAtomic(filepath.Join(e.dir, snap), src); err != nil {
+		restoreLag()
+		return err
+	}
+	man := manifest{Version: manifestVersion, Generation: gen, Snapshot: snap, FirstSegment: cut}
+	if err := man.write(e.dir); err != nil {
+		// Do NOT remove the snapshot here: write can fail after the rename
+		// actually installed the new MANIFEST (e.g. the directory fsync
+		// errored), and deleting a snapshot a committed manifest names
+		// would wedge every future boot. An uncommitted orphan is pruned
+		// by the next Open instead.
+		restoreLag()
+		return err
+	}
+
+	e.mu.Lock()
+	oldSnap, oldStart := e.man.Snapshot, e.segStart
+	e.man = man
+	e.segStart = cut
+	e.damaged = false // the snapshot supersedes any broken segment chain
+	e.mu.Unlock()
+
+	// The commit is durable; pruning is best-effort (Open re-prunes).
+	for idx := oldStart; idx < cut; idx++ {
+		if err := os.Remove(e.segPath(idx)); err != nil && !os.IsNotExist(err) {
+			e.opts.Logf("wal: pruning %s: %v", segmentName(idx), err)
+		}
+	}
+	if oldSnap != "" && oldSnap != snap {
+		if err := os.Remove(filepath.Join(e.dir, oldSnap)); err != nil && !os.IsNotExist(err) {
+			e.opts.Logf("wal: pruning %s: %v", oldSnap, err)
+		}
+	}
+	e.opts.Logf("wal: checkpoint generation %d (%d records, %d bytes folded in)", gen, prevRecords, prevBytes)
+	return nil
+}
+
+// Stats reports the engine's current durability state.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Records:    e.lagRecords,
+		Bytes:      e.lagBytes,
+		Segments:   int(e.activeIdx - e.segStart + 1),
+		Generation: e.man.Generation,
+	}
+}
+
+// checkpointLoop services threshold kicks from Append.
+func (e *Engine) checkpointLoop() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-e.kick:
+			if err := e.Checkpoint(); err != nil && err != ErrClosed {
+				e.opts.Logf("wal: background checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// syncLoop flushes dirty segments on the SyncInterval cadence. The fsync
+// itself runs outside e.mu — holding the lock across a slow disk flush
+// would stall every Append (and the Library writer behind it, and the
+// readers queued behind *that*), defeating SyncInterval's purpose.
+func (e *Engine) syncLoop() {
+	defer e.wg.Done()
+	t := time.NewTicker(e.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-t.C:
+			e.mu.Lock()
+			var f *os.File
+			if e.dirty && !e.closed {
+				f = e.active
+				e.dirty = false
+			}
+			e.mu.Unlock()
+			if f == nil {
+				continue
+			}
+			// If a rotation sealed f meanwhile, it was synced there first;
+			// a closed-file error here means the data is already safe.
+			if err := f.Sync(); err != nil && !errors.Is(err, os.ErrClosed) {
+				e.opts.Logf("wal: interval sync: %v", err)
+				e.mu.Lock()
+				if e.active == f {
+					e.dirty = true // retry next tick
+				}
+				e.mu.Unlock()
+			}
+		}
+	}
+}
+
+// Close stops the background goroutines, fsyncs any buffered appends, and
+// closes the active segment. The engine is unusable afterwards.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.done)
+	e.wg.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var err error
+	if e.dirty {
+		err = e.active.Sync()
+		e.dirty = false
+	}
+	if cerr := e.active.Close(); err == nil {
+		err = cerr
+	}
+	e.lock.Close() // releases the data-dir flock
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return nil
+}

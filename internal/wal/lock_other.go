@@ -1,0 +1,19 @@
+//go:build !unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// lockDataDir on platforms without flock keeps the LOCK file open but
+// cannot enforce exclusivity; double-open protection is advisory only.
+func lockDataDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return f, nil
+}

@@ -1,0 +1,28 @@
+//go:build unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDataDir takes an exclusive advisory lock on dir's LOCK file so two
+// processes can never append to the same log or prune each other's
+// checkpoints. flock (not an O_EXCL pid file) because the kernel releases
+// it when the holder dies, so a crashed daemon never blocks its own
+// recovery. The returned file must stay open for the engine's lifetime;
+// closing it releases the lock.
+func lockDataDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, lockName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: data directory %s is in use by another process: %w", dir, err)
+	}
+	return f, nil
+}

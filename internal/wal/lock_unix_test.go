@@ -1,0 +1,31 @@
+//go:build unix
+
+package wal
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLockExcludesSecondOpen: two engines on one data directory would
+// interleave appends and prune each other's checkpoints, so the second
+// Open must be refused while the first holds the flock, and succeed once
+// it is released.
+func TestLockExcludesSecondOpen(t *testing.T) {
+	dir := t.TempDir()
+	eng1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil || !strings.Contains(err.Error(), "in use") {
+		t.Fatalf("second open: %v, want in-use refusal", err)
+	}
+	if err := eng1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	eng2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("open after release: %v", err)
+	}
+	eng2.Close()
+}
