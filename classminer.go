@@ -81,8 +81,11 @@ type (
 	// DurableOptions configures the write-ahead log behind Recover.
 	DurableOptions = wal.Options
 	// WALStats reports a durable library's log lag (records and bytes
-	// appended since the last checkpoint).
+	// appended since the last checkpoint, and how much of it is dead —
+	// superseded by deletes and replacements).
 	WALStats = wal.Stats
+	// CompactStats reports what one sealed-segment compaction reclaimed.
+	CompactStats = wal.CompactResult
 )
 
 // Write-ahead-log fsync policies for DurableOptions.Sync.
@@ -97,6 +100,13 @@ const (
 // in both the snapshot and the log tail, and replay skips the second copy
 // by matching this error.
 var ErrDuplicateVideo = errors.New("classminer: video already registered")
+
+// ErrUnknownVideo reports a delete of a name the library does not hold.
+var ErrUnknownVideo = errors.New("classminer: video not registered")
+
+// ErrForbidden reports a policy-gated mutation the user may not perform
+// (DeleteVideoAs on a video whose subcluster the policy hides from them).
+var ErrForbidden = errors.New("classminer: access denied")
 
 // The four skimming layers (granularity increases from 4 down to 1).
 const (
@@ -150,12 +160,15 @@ type VideoEntry struct {
 
 // Library is the paper's video database: mined videos behind a
 // concept-hierarchy index with access control. All methods are safe for
-// concurrent use; reads proceed in parallel while registration and policy
-// changes serialise. BuildIndex is copy-on-write: the expensive fit runs
-// outside the lock against a snapshot of the entries and the finished index
-// is swapped in atomically, so concurrent searches keep answering from the
-// previous index (at worst slightly stale) instead of blocking or erroring
-// while a rebuild is in flight.
+// concurrent use; reads proceed in parallel while registration, deletion
+// and policy changes serialise. BuildIndex is copy-on-write: the expensive
+// fit runs outside the lock against a snapshot of the entries and the
+// finished index is swapped in atomically, so concurrent searches keep
+// answering from the previous index (at worst slightly stale) instead of
+// blocking or erroring while a rebuild is in flight. Deletion and
+// replacement (DeleteVideo, ReplaceVideo/ReplaceResult) follow the same
+// discipline: the entry set and flat feature matrix are rebuilt into fresh
+// arrays and the old index serves until the next BuildIndex.
 type Library struct {
 	mu        sync.RWMutex
 	analyzer  *Analyzer
@@ -176,10 +189,25 @@ type Library struct {
 	// gen counts every mutation that can change what a query returns
 	// (registration, index swap, policy change). Caches key on it.
 	gen int64
-	// journal, when non-nil, is the durable storage engine: register
-	// appends each encoded registration to it before mutating in-memory
-	// state, and Recover rebuilds the library from its snapshot + log.
+	// journal, when non-nil, is the durable storage engine: register,
+	// replace and delete append their encoded records to it before
+	// mutating in-memory state, and Recover rebuilds the library from its
+	// snapshot + log.
 	journal *wal.Engine
+	// logBytes tracks, per registered video, the on-log size of its
+	// journal record (payload + frame overhead) so a delete or replacement
+	// can tell the engine how much log just went dead — the signal that
+	// triggers sealed-segment compaction. Entries exist only for records
+	// on the live log: snapshot-loaded videos have none, and a checkpoint
+	// clears the map (their records are about to be pruned with the
+	// superseded segments). The figures feed a trigger heuristic, not
+	// correctness — Compact recomputes exact deadness from the log itself.
+	logBytes map[string]int64
+	// deadNote receives (records, bytes) whenever a live log record is
+	// superseded: wal.Engine.NoteDead once the journal is attached, a
+	// local accumulator while Recover replays (the engine's counters are
+	// seeded from it afterwards), nil on a non-durable library.
+	deadNote func(records, bytes int64)
 }
 
 // NewLibrary creates an empty library using the Fig. 2 medical concept
@@ -258,10 +286,8 @@ func (l *Library) AddResult(res *Result, subcluster string) error {
 	return l.register(res.Video.Name, res, subcluster)
 }
 
-// register installs a mined result under the lock. The installed index is
-// left in place — still serving, now stale — until the next BuildIndex.
-// Feature rows are appended to the library's flat matrix here, once per
-// shot, so index rebuilds never re-extract them.
+// register installs a mined result under the lock (via installLocked),
+// refusing names the library already holds.
 //
 // On a durable library the registration is write-ahead logged: the encoded
 // record is appended (and, under SyncAlways, fsynced) before any in-memory
@@ -273,11 +299,12 @@ func (l *Library) AddResult(res *Result, subcluster string) error {
 // The stall it imposes on readers is one fsync per *registration* — a
 // pool-bounded, mining-dominated path — not per query, which is the
 // opposite tradeoff from Save/BuildIndex (both serialise outside the lock
-// because they scale with library size).
+// because they scale with library size). The same contract covers replace
+// and DeleteVideo.
 func (l *Library) register(name string, res *Result, subcluster string) error {
 	// Encode the journal record outside the write lock: serialising a
 	// large mined result is the slow part and needs no library state.
-	rec, err := l.encodeJournalRecord(res, subcluster)
+	rec, err := l.encodeJournalRecord(wal.RecordRegister, name, res, subcluster)
 	if err != nil {
 		return err
 	}
@@ -287,22 +314,117 @@ func (l *Library) register(name string, res *Result, subcluster string) error {
 		return fmt.Errorf("%w: %q", ErrDuplicateVideo, name)
 	}
 	newEntries := res.IndexEntries(subcluster)
-	dim := l.featDim
+	dim, err := l.checkEntryDims(name, newEntries, l.featDim)
+	if err != nil {
+		return err
+	}
+	if rec != nil && l.journal != nil {
+		if err := l.journal.Append(rec); err != nil {
+			return fmt.Errorf("classminer: journaling %q: %w", name, err)
+		}
+		l.setLogSizeLocked(name, int64(len(rec))+wal.FrameOverhead)
+	}
+	l.installLocked(name, res, subcluster, newEntries, dim)
+	return nil
+}
+
+// replace installs a mined result under name, superseding any existing
+// registration — an upsert: absent names register fresh. On a durable
+// library the whole mutation is one wal.RecordReplace record, so replay
+// can never observe the delete without the re-add. Replay itself reuses
+// this method (the journal is not attached yet, so nothing is re-logged).
+// check, when non-nil, runs on the existing entry under the write lock and
+// can veto the replacement before anything is logged (the policy gate of
+// ReplaceResultAs/ReplaceVideoAs).
+func (l *Library) replace(name string, res *Result, subcluster string, check func(*VideoEntry) error) error {
+	rec, err := l.encodeJournalRecord(wal.RecordReplace, name, res, subcluster)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ve, replacing := l.videos[name]
+	if replacing && check != nil {
+		if err := check(ve); err != nil {
+			return err
+		}
+	}
+	newEntries := res.IndexEntries(subcluster)
+	// When the victim is the only registered video, its dimensionality
+	// leaves with it — validate against an unconstrained library, exactly
+	// as the equivalent delete-then-add would.
+	baseDim := l.featDim
+	if replacing && len(l.videos) == 1 {
+		baseDim = 0
+	}
+	dim, err := l.checkEntryDims(name, newEntries, baseDim)
+	if err != nil {
+		return err
+	}
+	if rec != nil && l.journal != nil {
+		if err := l.journal.Append(rec); err != nil {
+			return fmt.Errorf("classminer: journaling replacement of %q: %w", name, err)
+		}
+	}
+	// removeLocked's empty-library branch drops the serving index and
+	// fences stale builds — right for a delete, wrong mid-replace: a
+	// successor is about to be installed, and the replace contract is
+	// that the old index keeps serving until the next BuildIndex. The
+	// exception is a replacement that changes the feature dimensionality
+	// (possible only when the victim was the sole video): the old index
+	// answers queries of the *old* width, and serving it against the
+	// library's new width would panic projection deep in Search — there
+	// the index stays down, exactly as a delete leaves it.
+	oldIx, oldIxVer, oldDim := l.ix, l.ixVer, l.featDim
+	l.removeLocked(name) // consumes the superseded record's on-log size
+	if l.ix == nil && oldIx != nil && dim == oldDim {
+		l.ix, l.ixVer = oldIx, oldIxVer
+	}
+	if rec != nil && l.journal != nil {
+		l.setLogSizeLocked(name, int64(len(rec))+wal.FrameOverhead)
+	}
+	l.installLocked(name, res, subcluster, newEntries, dim)
+	return nil
+}
+
+// visibleTo returns the lifecycle guard DeleteVideoAs and the *As replace
+// variants share: it vetoes mutating a video whose subcluster the policy
+// hides from u. It runs under l.mu, so the verdict and the mutation are
+// one atomic step.
+func (l *Library) visibleTo(u User) func(*VideoEntry) error {
+	return func(ve *VideoEntry) error {
+		n := l.hierarchy.Find(ve.Subcluster)
+		if n == nil || !l.policy.Allowed(u, n.Path()) {
+			return fmt.Errorf("%w: subcluster %q", ErrForbidden, ve.Subcluster)
+		}
+		return nil
+	}
+}
+
+// checkEntryDims validates that every new entry matches dim (0 = the
+// library constrains nothing and the entries establish it), returning the
+// dimension to install. Validation runs before any journaling or mutation:
+// a registration that would fail must never reach the log.
+func (l *Library) checkEntryDims(name string, newEntries []*index.Entry, dim int) (int, error) {
 	for _, e := range newEntries {
 		d := len(e.Shot.Color) + len(e.Shot.Texture)
 		if dim == 0 {
 			dim = d
 		}
 		if d != dim {
-			return fmt.Errorf("classminer: video %q shot has %d feature dims, library has %d",
+			return 0, fmt.Errorf("classminer: video %q shot has %d feature dims, library has %d",
 				name, d, dim)
 		}
 	}
-	if rec != nil && l.journal != nil {
-		if err := l.journal.Append(rec); err != nil {
-			return fmt.Errorf("classminer: journaling %q: %w", name, err)
-		}
-	}
+	return dim, nil
+}
+
+// installLocked commits a validated registration to in-memory state:
+// feature rows are appended to the flat matrix (once per shot, so index
+// rebuilds never re-extract them) and the entry set and generation advance.
+// The installed index is left in place — still serving, now stale — until
+// the next BuildIndex. Callers hold l.mu.
+func (l *Library) installLocked(name string, res *Result, subcluster string, newEntries []*index.Entry, dim int) {
 	l.featDim = dim
 	for _, e := range newEntries {
 		l.featData = append(l.featData, e.Shot.Color...)
@@ -312,14 +434,96 @@ func (l *Library) register(name string, res *Result, subcluster string) error {
 	l.entries = append(l.entries, newEntries...)
 	l.entriesVer++
 	l.gen++
-	return nil
 }
 
-// encodeJournalRecord serialises a registration for the write-ahead log,
-// or returns nil when the library is not durable. The payload is the JSON
-// of a store.SavedLibraryEntry — the same shape a snapshot holds per video
-// — so snapshot load and log replay share one decode path.
-func (l *Library) encodeJournalRecord(res *Result, subcluster string) ([]byte, error) {
+// removeLocked unregisters name, if present, and compacts the entry list
+// and flat feature matrix. Both are rebuilt into *fresh* backing arrays,
+// never edited in place: BuildIndex snapshots alias the old arrays
+// (capacity-capped slices), and a concurrent search against the installed
+// index must keep reading consistent rows until the next swap. The old
+// index keeps serving — stale, possibly still ranking the deleted shots —
+// until BuildIndex; the generation bump invalidates response caches
+// immediately. Callers hold l.mu.
+func (l *Library) removeLocked(name string) bool {
+	if _, ok := l.videos[name]; !ok {
+		return false
+	}
+	delete(l.videos, name)
+	kept := make([]*index.Entry, 0, len(l.entries))
+	var data []float64
+	if l.featDim > 0 {
+		data = make([]float64, 0, len(l.entries)*l.featDim)
+	}
+	for i, e := range l.entries {
+		if e.VideoName == name {
+			continue
+		}
+		kept = append(kept, e)
+		if l.featDim > 0 {
+			data = append(data, l.featData[i*l.featDim:(i+1)*l.featDim]...)
+		}
+	}
+	l.entries = kept
+	l.featData = data
+	empty := len(l.entries) == 0
+	if empty {
+		// Nothing left to index: drop the installed index now rather than
+		// serve a library of ghosts until a BuildIndex that would error,
+		// and forget the feature dimensionality — it was learned from the
+		// registrations just removed, and an empty library constrains
+		// nothing (the next registration re-establishes it).
+		l.ix = nil
+		l.featDim = 0
+		l.featData = nil
+	}
+	l.entriesVer++
+	l.gen++
+	if empty {
+		// Fence out in-flight builds: a BuildIndex snapshotted before this
+		// delete would otherwise pass the `ver >= ixVer` swap guard and
+		// reinstall an index of the just-deleted entries — permanently,
+		// since BuildIndex on an empty library only errors.
+		l.ixVer = l.entriesVer
+	}
+	if n := l.logBytes[name]; n > 0 {
+		delete(l.logBytes, name)
+		if l.deadNote != nil {
+			l.deadNote(1, n)
+		}
+	}
+	return true
+}
+
+// remove is removeLocked under the lock (the tombstone-replay path).
+func (l *Library) remove(name string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.removeLocked(name)
+}
+
+// setLogSizeLocked records name's journal-record footprint on the live
+// log. Callers hold l.mu.
+func (l *Library) setLogSizeLocked(name string, n int64) {
+	if l.logBytes == nil {
+		l.logBytes = map[string]int64{}
+	}
+	l.logBytes[name] = n
+}
+
+// setLogSize is setLogSizeLocked under the lock (the replay path, where
+// records enter the library without passing through Append).
+func (l *Library) setLogSize(name string, n int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.setLogSizeLocked(name, n)
+}
+
+// encodeJournalRecord serialises a register/replace record for the
+// write-ahead log, or returns nil when the library is not durable. The
+// envelope payload is the JSON of a store.SavedLibraryEntry — the same
+// shape a snapshot holds per video — so snapshot load and log replay share
+// one decode path.
+func (l *Library) encodeJournalRecord(kind, name string, res *Result, subcluster string) ([]byte, error) {
 	l.mu.RLock()
 	durable := l.journal != nil
 	l.mu.RUnlock()
@@ -330,11 +534,131 @@ func (l *Library) encodeJournalRecord(res *Result, subcluster string) ([]byte, e
 	if err != nil {
 		return nil, fmt.Errorf("classminer: encoding journal record: %w", err)
 	}
-	rec, err := json.Marshal(store.SavedLibraryEntry{Subcluster: subcluster, Result: saved})
+	entry, err := json.Marshal(store.SavedLibraryEntry{Subcluster: subcluster, Result: saved})
 	if err != nil {
 		return nil, fmt.Errorf("classminer: encoding journal record: %w", err)
 	}
-	return rec, nil
+	return wal.EncodeRecord(kind, name, entry)
+}
+
+// encodeTombstone serialises a delete record, or returns nil when the
+// library is not durable.
+func (l *Library) encodeTombstone(name string) ([]byte, error) {
+	l.mu.RLock()
+	durable := l.journal != nil
+	l.mu.RUnlock()
+	if !durable {
+		return nil, nil
+	}
+	return wal.EncodeRecord(wal.RecordTombstone, name, nil)
+}
+
+// DeleteVideo unregisters a video: its entries leave the library, the flat
+// feature matrix is compacted, and the generation advances so cached
+// answers stop being served. The installed index keeps serving until the
+// next BuildIndex (copy-on-write, exactly like registration: at worst
+// slightly stale, never blocking). On a durable library the tombstone is
+// journaled before any state changes — replay applies it even over a
+// registration recovered from a checkpoint snapshot, so delete wins across
+// a crash — and the superseded registration's log footprint is reported to
+// the engine, feeding the sealed-segment compaction trigger.
+func (l *Library) DeleteVideo(name string) error {
+	return l.deleteVideo(name, nil)
+}
+
+// DeleteVideoAs is DeleteVideo gated by the library's access policy: the
+// user must be allowed to see the video's subcluster, and the check runs
+// under the same critical section as the removal — a concurrent
+// replacement can never move the video behind a policy wall between the
+// check and the delete. It returns an error wrapping ErrForbidden when
+// policy denies the user.
+func (l *Library) DeleteVideoAs(u User, name string) error {
+	return l.deleteVideo(name, l.visibleTo(u))
+}
+
+// deleteVideo journals and applies a tombstone; check, when non-nil, runs
+// on the entry under the write lock and can veto the delete before
+// anything is logged.
+func (l *Library) deleteVideo(name string, check func(*VideoEntry) error) error {
+	rec, err := l.encodeTombstone(name)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ve, ok := l.videos[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownVideo, name)
+	}
+	if check != nil {
+		if err := check(ve); err != nil {
+			return err
+		}
+	}
+	if rec != nil && l.journal != nil {
+		if err := l.journal.Append(rec); err != nil {
+			return fmt.Errorf("classminer: journaling tombstone for %q: %w", name, err)
+		}
+	}
+	l.removeLocked(name)
+	return nil
+}
+
+// ReplaceResult installs an already-mined result under its video name,
+// superseding any existing registration (an upsert: absent names register
+// fresh). This is the re-ingest path of a living archive — a clinician
+// re-records a procedure and the new cut supersedes the old. The index is
+// left stale; call BuildIndex afterwards. On a durable library the whole
+// replacement is a single journal record, atomic across crashes.
+func (l *Library) ReplaceResult(res *Result, subcluster string) error {
+	if res == nil || res.Video == nil {
+		return fmt.Errorf("classminer: nil result")
+	}
+	if err := l.checkSubcluster(subcluster); err != nil {
+		return err
+	}
+	return l.replace(res.Video.Name, res, subcluster, nil)
+}
+
+// ReplaceResultAs is ReplaceResult gated by the library's access policy:
+// superseding a registration destroys it just as surely as DeleteVideo
+// does, so the user must be allowed to see the *existing* video's
+// subcluster, checked atomically with the swap (ErrForbidden otherwise).
+// Absent names register fresh with no gate — there is nothing to destroy.
+func (l *Library) ReplaceResultAs(u User, res *Result, subcluster string) error {
+	if res == nil || res.Video == nil {
+		return fmt.Errorf("classminer: nil result")
+	}
+	if err := l.checkSubcluster(subcluster); err != nil {
+		return err
+	}
+	return l.replace(res.Video.Name, res, subcluster, l.visibleTo(u))
+}
+
+// ReplaceVideo mines a video and installs it under its name, superseding
+// any existing registration. Mining runs outside the lock, like AddVideo.
+func (l *Library) ReplaceVideo(v *Video, subcluster string) (*Result, error) {
+	if err := l.checkSubcluster(subcluster); err != nil {
+		return nil, err
+	}
+	res, err := l.analyzer.Analyze(v)
+	if err != nil {
+		return nil, err
+	}
+	return res, l.replace(v.Name, res, subcluster, nil)
+}
+
+// ReplaceVideoAs is ReplaceVideo with ReplaceResultAs's atomic policy gate
+// on the existing registration.
+func (l *Library) ReplaceVideoAs(u User, v *Video, subcluster string) (*Result, error) {
+	if err := l.checkSubcluster(subcluster); err != nil {
+		return nil, err
+	}
+	res, err := l.analyzer.Analyze(v)
+	if err != nil {
+		return nil, err
+	}
+	return res, l.replace(v.Name, res, subcluster, l.visibleTo(u))
 }
 
 // BuildIndex (re)builds the hierarchical index over all registered videos.
@@ -346,8 +670,10 @@ func (l *Library) BuildIndex() error {
 	l.mu.RLock()
 	entries := l.entries[:len(l.entries):len(l.entries)]
 	// Snapshot the precomputed feature matrix alongside: the capacity-capped
-	// view stays valid even if later registrations grow featData, and rows
-	// past the snapshot are never written concurrently.
+	// view stays valid even if later registrations grow featData, rows past
+	// the snapshot are never written concurrently, and a delete or
+	// replacement rebuilds both slices into fresh backing arrays
+	// (removeLocked) rather than editing the ones this snapshot aliases.
 	flen := len(entries) * l.featDim
 	feats := &mat.Dense{R: len(entries), C: l.featDim, Data: l.featData[:flen:flen]}
 	ver := l.entriesVer
@@ -602,30 +928,69 @@ func Recover(dir string, a *Analyzer, opts DurableOptions) (*Library, error) {
 			return nil, fmt.Errorf("classminer: snapshot %s: %w", snap, err)
 		}
 	}
+	// Dead log discovered during replay (a tombstone or replacement whose
+	// victim is also on the log) is accumulated locally and handed to the
+	// engine once it is attached, so a recovered-but-never-compacted data
+	// directory can trigger compaction without waiting for fresh deletes.
+	var replayDeadRecs, replayDeadBytes int64
+	l.mu.Lock()
+	l.deadNote = func(records, bytes int64) {
+		replayDeadRecs += records
+		replayDeadBytes += bytes
+	}
+	l.mu.Unlock()
 	err = eng.Replay(func(payload []byte) error {
+		rec, err := wal.DecodeRecord(payload)
+		if err != nil {
+			return fmt.Errorf("classminer: %w", err)
+		}
+		size := int64(len(payload)) + wal.FrameOverhead
+		if rec.Type == wal.RecordTombstone {
+			// Delete wins over a straddling checkpointed registration (the
+			// video is in the snapshot, its tombstone on the log tail);
+			// unknown names are fine — the tombstone itself may straddle a
+			// checkpoint that already dropped the video.
+			l.remove(rec.Key)
+			return nil
+		}
 		var sv store.SavedLibraryEntry
-		if err := json.Unmarshal(payload, &sv); err != nil {
+		if err := json.Unmarshal(rec.Payload, &sv); err != nil {
 			return fmt.Errorf("classminer: decoding journal record: %w", err)
 		}
 		res, err := store.DecodeResult(sv.Result)
 		if err != nil {
 			return fmt.Errorf("classminer: decoding journal record: %w", err)
 		}
-		err = l.register(res.Video.Name, res, sv.Subcluster)
-		if errors.Is(err, ErrDuplicateVideo) {
-			// The record straddles the last checkpoint: it is both in the
-			// snapshot and on the log tail. The snapshot copy won.
-			return nil
+		name := res.Video.Name
+		if rec.Type == wal.RecordReplace {
+			if err := l.replace(name, res, sv.Subcluster, nil); err != nil {
+				return err
+			}
+		} else {
+			err := l.register(name, res, sv.Subcluster)
+			if err != nil && !errors.Is(err, ErrDuplicateVideo) {
+				// A duplicate straddles the last checkpoint: it is both in
+				// the snapshot and on the log tail, and the snapshot copy
+				// won. Anything else is real.
+				return err
+			}
 		}
-		return err
+		// Either way the record is on the live log; a later delete or
+		// replacement makes its bytes reclaimable.
+		l.setLogSize(name, size)
+		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	l.mu.Lock()
 	l.journal = eng
+	l.deadNote = eng.NoteDead
 	l.mu.Unlock()
-	eng.SetSource(l.Save)
+	eng.SetSource(l.checkpointSource)
+	if replayDeadRecs > 0 {
+		eng.NoteDead(replayDeadRecs, replayDeadBytes)
+	}
 	if eng.ReplayDamaged() {
 		// The log chain is broken mid-way: records past the damage (and any
 		// future appends, which land after them) would be unreachable by
@@ -679,6 +1044,24 @@ func (l *Library) Durable() bool {
 	return l.journal != nil
 }
 
+// checkpointSource is the snapshot writer the engine's checkpoints call.
+// It is Save plus bookkeeping: once the snapshot is cut, the log records
+// it covers are about to be pruned, so their per-name footprints are
+// forgotten — a later delete of a checkpointed video costs the log nothing
+// (only its tombstone is appended). Registrations that straddle the
+// checkpoint lose their entry too, a deliberate undercount: the dead-bytes
+// counter is a compaction trigger, and Compact recomputes exact deadness
+// from the log itself.
+func (l *Library) checkpointSource(w io.Writer) error {
+	if err := l.Save(w); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.logBytes = nil
+	l.mu.Unlock()
+	return nil
+}
+
 // Checkpoint folds the write-ahead log into a fresh snapshot and prunes
 // the superseded segments, bounding the next recovery's replay. The
 // background checkpointer calls this when the configured lag thresholds
@@ -692,6 +1075,22 @@ func (l *Library) Checkpoint() error {
 		return fmt.Errorf("classminer: library is not durable")
 	}
 	return eng.Checkpoint()
+}
+
+// Compact rewrites the write-ahead log's sealed segments, dropping
+// registrations a later delete or replacement superseded, so recovery
+// replays (and checkpoints rewrite) only the live set. The background
+// compactor calls this when the dead-bytes threshold trips
+// (DurableOptions.CompactBytes); the daemon's admin endpoint calls it on
+// demand. It is an error on a non-durable library.
+func (l *Library) Compact() (CompactStats, error) {
+	l.mu.RLock()
+	eng := l.journal
+	l.mu.RUnlock()
+	if eng == nil {
+		return CompactStats{}, fmt.Errorf("classminer: library is not durable")
+	}
+	return eng.Compact()
 }
 
 // WALStats reports the durable log's lag since its last checkpoint. ok is

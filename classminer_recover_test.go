@@ -171,6 +171,161 @@ func TestRecoverEquivalence(t *testing.T) {
 	}
 }
 
+// TestRecoverDeleteReplaceEquivalence drives random interleavings of
+// add/delete/replace through a durable library and an in-memory reference,
+// checkpoints somewhere in the middle of the stream, crashes, and demands
+// the recovered library answer exactly like the reference — the lifecycle
+// analogue of TestRecoverEquivalence. Register records that straddle the
+// checkpoint must dedupe, and tombstone/replace records that straddle it
+// must win over the snapshot copy.
+func TestRecoverDeleteReplaceEquivalence(t *testing.T) {
+	a, err := NewAnalyzer(Options{SkipEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			opts := quietWAL()
+			opts.SegmentBytes = 4 << 10 // several segments per run
+			durable, err := Recover(dir, a, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reference := NewLibrary(a)
+
+			var names []string
+			next := 0
+			const ops = 60
+			ckptAt := 20 + rng.Intn(20)
+			for op := 0; op < ops; op++ {
+				switch {
+				case len(names) == 0 || rng.Float64() < 0.5:
+					name := fmt.Sprintf("vid-%03d", next)
+					next++
+					res := int64(next)
+					if err := durable.AddResult(tinyResult(t, name, res, 2+rng.Intn(3)), "medicine"); err != nil {
+						t.Fatal(err)
+					}
+					if err := reference.AddResult(tinyResult(t, name, res, len(durable.Video(name).Result.Shots)), "medicine"); err != nil {
+						t.Fatal(err)
+					}
+					names = append(names, name)
+				case rng.Float64() < 0.5:
+					victim := rng.Intn(len(names))
+					name := names[victim]
+					if err := durable.DeleteVideo(name); err != nil {
+						t.Fatal(err)
+					}
+					if err := reference.DeleteVideo(name); err != nil {
+						t.Fatal(err)
+					}
+					names = append(names[:victim], names[victim+1:]...)
+				default:
+					name := names[rng.Intn(len(names))]
+					res := int64(1000 + op)
+					shots := 2 + rng.Intn(3)
+					if err := durable.ReplaceResult(tinyResult(t, name, res, shots), "medicine"); err != nil {
+						t.Fatal(err)
+					}
+					if err := reference.ReplaceResult(tinyResult(t, name, res, shots), "medicine"); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if op == ckptAt {
+					if err := durable.Checkpoint(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			// Crash without any shutdown save (see TestRecoverEquivalence).
+			if err := durable.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			recovered, err := Recover(dir, a, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer recovered.Close()
+			gotNames, wantNames := recovered.VideoNames(), reference.VideoNames()
+			if fmt.Sprint(gotNames) != fmt.Sprint(wantNames) {
+				t.Fatalf("recovered videos %v, want %v", gotNames, wantNames)
+			}
+			for _, name := range wantNames {
+				g, w := recovered.Video(name), reference.Video(name)
+				if len(g.Result.Shots) != len(w.Result.Shots) {
+					t.Fatalf("video %q recovered with %d shots, want %d (stale replacement?)",
+						name, len(g.Result.Shots), len(w.Result.Shots))
+				}
+			}
+			if len(wantNames) == 0 {
+				return
+			}
+			if err := recovered.BuildIndex(); err != nil {
+				t.Fatal(err)
+			}
+			if err := reference.BuildIndex(); err != nil {
+				t.Fatal(err)
+			}
+			queries := fixedQueries(8, 12, seed)
+			mustSameHits(t, searchAll(t, recovered, queries, 5), searchAll(t, reference, queries, 5))
+		})
+	}
+}
+
+// TestRecoverTombstoneStraddlesCheckpoint pins the "delete wins" rule: a
+// video registered before a checkpoint lives in the snapshot; its
+// tombstone (and a replaced sibling's replace record) land on the log
+// tail. Replay loads the snapshot copy and must still apply both.
+func TestRecoverTombstoneStraddlesCheckpoint(t *testing.T) {
+	a, err := NewAnalyzer(Options{SkipEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	lib, err := Recover(dir, a, quietWAL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := lib.AddResult(tinyResult(t, fmt.Sprintf("v%d", i), int64(i), 3), "medicine"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lib.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	// Both mutations straddle the checkpoint: victims in the snapshot,
+	// records on the tail.
+	if err := lib.DeleteVideo("v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.ReplaceResult(tinyResult(t, "v2", 55, 5), "medicine"); err != nil {
+		t.Fatal(err)
+	}
+	if err := lib.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := Recover(dir, a, quietWAL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if recovered.Video("v1") != nil {
+		t.Fatal("tombstone lost: checkpointed registration resurrected")
+	}
+	if got := recovered.Stats().Videos; got != 3 {
+		t.Fatalf("recovered %d videos, want 3", got)
+	}
+	ve := recovered.Video("v2")
+	if ve == nil || len(ve.Result.Shots) != 5 {
+		t.Fatalf("replace record lost: v2 = %+v", ve)
+	}
+}
+
 // TestRecoverEmptyDir boots a durable library from a directory that has
 // never seen a record: zero snapshots, an empty log.
 func TestRecoverEmptyDir(t *testing.T) {

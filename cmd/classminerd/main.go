@@ -30,7 +30,11 @@
 //	curl localhost:8471/v1/events/dialog
 //	curl -H 'Authorization: Bearer s3cret' -X POST localhost:8471/v1/videos \
 //	    -d '{"corpus":"skin-examination","subcluster":"medicine","scale":0.4}'
+//	curl -H 'Authorization: Bearer s3cret' -X POST localhost:8471/v1/videos \
+//	    -d '{"corpus":"skin-examination","subcluster":"medicine","replace":true}'
+//	curl -H 'Authorization: Bearer s3cret' -X DELETE localhost:8471/v1/videos/laparoscopy
 //	curl -H 'Authorization: Bearer admin' -X POST localhost:8471/v1/admin/checkpoint
+//	curl -H 'Authorization: Bearer admin' -X POST localhost:8471/v1/admin/compact
 package main
 
 import (
@@ -103,11 +107,12 @@ type config struct {
 	tokens     map[string]access.User
 
 	// durable-mode tuning (only read when dataDir is set)
-	fsync       string
-	fsyncEvery  time.Duration
-	segBytes    int64
-	ckptBytes   int64
-	ckptRecords int64
+	fsync        string
+	fsyncEvery   time.Duration
+	segBytes     int64
+	ckptBytes    int64
+	ckptRecords  int64
+	compactBytes int64
 }
 
 func main() {
@@ -131,6 +136,7 @@ func main() {
 	flag.Int64Var(&cfg.segBytes, "segment-bytes", 4<<20, "WAL segment rotation size")
 	flag.Int64Var(&cfg.ckptBytes, "checkpoint-bytes", 64<<20, "auto-checkpoint once this much WAL accumulates (negative disables)")
 	flag.Int64Var(&cfg.ckptRecords, "checkpoint-records", 10000, "auto-checkpoint once this many WAL records accumulate (negative disables)")
+	flag.Int64Var(&cfg.compactBytes, "compact-bytes", 8<<20, "auto-compact sealed WAL segments once this many dead bytes accumulate (negative disables)")
 	flag.Var(&tokens, "token", "token=name:clearance[:role1|role2] (repeatable)")
 	flag.Parse()
 	cfg.tokens = tokens.users
@@ -242,6 +248,7 @@ func buildLibrary(logger *log.Logger, analyzer *classminer.Analyzer, cfg config)
 		wopts.SegmentBytes = cfg.segBytes
 		wopts.CheckpointBytes = cfg.ckptBytes
 		wopts.CheckpointRecords = cfg.ckptRecords
+		wopts.CompactBytes = cfg.compactBytes
 		wopts.Logf = logger.Printf
 		lib, err = classminer.Recover(cfg.dataDir, analyzer, wopts)
 		if err != nil {

@@ -138,8 +138,14 @@ func Build(entries []*Entry, opts Options) (*Index, error) {
 }
 
 // BuildMatrix constructs the index from entries whose full features are
-// already laid out as rows of feats (row i belongs to entries[i]). The
-// matrix is retained by the index and must not be mutated afterwards.
+// already laid out as rows of feats (row i belongs to entries[i]). Both
+// the entry slice and the matrix are retained by the index and must never
+// be mutated afterwards: a built Index is immutable, and every concurrent
+// search reads entry pointers and feature rows straight out of them. A
+// caller that later shrinks its own entry set (classminer's
+// DeleteVideo/ReplaceVideo) must therefore rebuild into fresh backing
+// arrays and hand the next BuildMatrix the new ones — the old index keeps
+// serving its snapshot untouched until it is swapped out.
 func BuildMatrix(entries []*Entry, feats *mat.Dense, opts Options) (*Index, error) {
 	if len(entries) == 0 {
 		return nil, fmt.Errorf("index: no entries")

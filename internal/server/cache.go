@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -19,7 +20,7 @@ import (
 type cacheKey struct {
 	gen       int64
 	clearance access.Clearance
-	roles     string // sorted, lowercase, "|"-joined
+	roles     string // sorted, lowercase, length-prefixed (see makeKey)
 	qhash     uint64
 	k         int
 }
@@ -47,13 +48,23 @@ func newSearchCache(capacity int) *searchCache {
 	return &searchCache{cap: capacity, ll: list.New(), byKey: map[cacheKey]*list.Element{}}
 }
 
-// makeKey hashes the query into a cache key for the given identity.
+// makeKey hashes the query into a cache key for the given identity. Roles
+// are length-prefixed rather than joined with a separator: a bare join
+// would alias ["a|b"] with ["a","b"] — one cache identity for two distinct
+// role sets, letting one user's policy-filtered answer leak to the other —
+// because "|" is a legal character inside a role name.
 func makeKey(gen int64, u access.User, query []float64, k int) cacheKey {
 	roles := append([]string(nil), u.Roles...)
 	for i := range roles {
 		roles[i] = strings.ToLower(roles[i])
 	}
 	sort.Strings(roles)
+	var rb strings.Builder
+	for _, r := range roles {
+		rb.WriteString(strconv.Itoa(len(r)))
+		rb.WriteByte(':')
+		rb.WriteString(r)
+	}
 	h := fnv.New64a()
 	var buf [8]byte
 	for _, v := range query {
@@ -66,7 +77,7 @@ func makeKey(gen int64, u access.User, query []float64, k int) cacheKey {
 	return cacheKey{
 		gen:       gen,
 		clearance: u.Clearance,
-		roles:     strings.Join(roles, "|"),
+		roles:     rb.String(),
 		qhash:     h.Sum64(),
 		k:         k,
 	}
@@ -96,7 +107,17 @@ func (c *searchCache) Put(key cacheKey, query []float64, resp searchResponse) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*cacheEntry).resp = resp
+		e := el.Value.(*cacheEntry)
+		if !sameQuery(e.query, query) {
+			// A 64-bit qhash collision: two distinct queries share the key.
+			// The stored query and response must always agree — updating
+			// resp alone would hand this response to the *other* query's
+			// callers, the exact poisoning Get's sameQuery guard exists to
+			// prevent — so the entry is replaced wholesale (one slot per
+			// key; latest query wins, the other degrades to a miss).
+			e.query = append(e.query[:0], query...)
+		}
+		e.resp = resp
 		c.ll.MoveToFront(el)
 		return
 	}

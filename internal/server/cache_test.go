@@ -1,0 +1,85 @@
+package server
+
+import (
+	"testing"
+
+	"classminer/internal/access"
+)
+
+// TestCachePutCollisionNeverPoisons is the regression test for the Put
+// half of the hash-collision guard: two distinct queries forced onto the
+// same 64-bit cache key (a fabricated qhash collision) must never serve
+// each other's responses. The old Put updated the stored entry's response
+// without checking the stored query, so after Put(key, qB, respB) a
+// Get(key, qA) — whose stored query was still qA — returned qB's answer.
+func TestCachePutCollisionNeverPoisons(t *testing.T) {
+	c := newSearchCache(8)
+	key := cacheKey{gen: 1, qhash: 0xdeadbeef, k: 5}
+	qA := []float64{1, 2, 3}
+	qB := []float64{9, 8, 7}
+	respA := searchResponse{K: 1}
+	respB := searchResponse{K: 2}
+
+	c.Put(key, qA, respA)
+	if got, ok := c.Get(key, qA); !ok || got.K != respA.K {
+		t.Fatalf("warm-up Get = (%+v, %v), want respA", got, ok)
+	}
+	// Same key, different query: the forced collision.
+	c.Put(key, qB, respB)
+	if got, ok := c.Get(key, qA); ok && got.K != respA.K {
+		t.Fatalf("query A served query B's response after collision: %+v", got)
+	}
+	// The latest colliding query must be coherent (stored query and
+	// response agree).
+	if got, ok := c.Get(key, qB); !ok || got.K != respB.K {
+		t.Fatalf("Get(qB) = (%+v, %v), want respB", got, ok)
+	}
+	if got, ok := c.Get(key, qA); ok && got.K != respA.K {
+		t.Fatalf("query A poisoned after qB overwrote the slot: %+v", got)
+	}
+}
+
+// TestCachePutSameQueryRefreshes keeps the legitimate update path: a Put
+// for the exact query already stored replaces the response in place.
+func TestCachePutSameQueryRefreshes(t *testing.T) {
+	c := newSearchCache(8)
+	key := cacheKey{gen: 1, qhash: 42, k: 3}
+	q := []float64{4, 5}
+	c.Put(key, q, searchResponse{K: 1})
+	c.Put(key, q, searchResponse{K: 2})
+	if got, ok := c.Get(key, q); !ok || got.K != 2 {
+		t.Fatalf("refreshed Get = (%+v, %v), want K=2", got, ok)
+	}
+}
+
+// TestMakeKeyRoleAliasing is the regression test for the role-join bug: a
+// "|"-joined role string aliased roles ["a|b"] with ["a","b"], giving two
+// different identities — with different policy filters — one cache slot.
+// The length-prefixed encoding must keep them distinct.
+func TestMakeKeyRoleAliasing(t *testing.T) {
+	q := []float64{1, 2}
+	u1 := access.User{Name: "x", Clearance: access.Clinician, Roles: []string{"a|b"}}
+	u2 := access.User{Name: "y", Clearance: access.Clinician, Roles: []string{"a", "b"}}
+	k1 := makeKey(7, u1, q, 5)
+	k2 := makeKey(7, u2, q, 5)
+	if k1 == k2 {
+		t.Fatalf("roles %v and %v alias to one cache key: %+v", u1.Roles, u2.Roles, k1)
+	}
+	// More aliasing shapes the naive join collapses ("a|b|c" both ways).
+	u3 := access.User{Clearance: access.Clinician, Roles: []string{"a", "b|c"}}
+	u4 := access.User{Clearance: access.Clinician, Roles: []string{"a|b", "c"}}
+	if makeKey(7, u3, q, 5) == makeKey(7, u4, q, 5) {
+		t.Fatalf("roles %v and %v alias to one cache key", u3.Roles, u4.Roles)
+	}
+}
+
+// TestMakeKeyRoleNormalisation preserves the intended equivalences: role
+// order and case do not change the identity.
+func TestMakeKeyRoleNormalisation(t *testing.T) {
+	q := []float64{3}
+	u1 := access.User{Clearance: access.Nurse, Roles: []string{"Surgeon", "triage"}}
+	u2 := access.User{Clearance: access.Nurse, Roles: []string{"TRIAGE", "surgeon"}}
+	if makeKey(1, u1, q, 5) != makeKey(1, u2, q, 5) {
+		t.Fatal("role order/case changed the cache identity")
+	}
+}

@@ -146,6 +146,237 @@ func TestKillAndRestartServesIdenticalSearches(t *testing.T) {
 	}
 }
 
+// ingestReplaceAndWait pushes a replacement through POST /v1/videos with
+// the replace flag and polls the job to completion.
+func ingestReplaceAndWait(t *testing.T, s *Server, name string, seed int64) {
+	t.Helper()
+	req := map[string]any{
+		"subcluster": "medicine",
+		"saved":      tinySavedResult(name, seed, 2),
+		"replace":    true,
+	}
+	var job Job
+	if code := do(t, s, http.MethodPost, "/v1/videos", "admin-tok", req, &job); code != http.StatusAccepted {
+		t.Fatalf("replace-ingest %s = %d", name, code)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var got Job
+		if code := do(t, s, http.MethodGet, "/v1/jobs/"+job.ID, "admin-tok", nil, &got); code != http.StatusOK {
+			t.Fatalf("job poll = %d", code)
+		}
+		switch got.Status {
+		case JobDone:
+			return
+		case JobFailed:
+			t.Fatalf("replace %s failed: %s", name, got.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replace %s stuck in %s", name, got.Status)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestVideoLifecycleEndpoints drives the HTTP mutation surface on a
+// non-durable library: DELETE gating (401/403/404), conflict-vs-replace on
+// ingest, and the list/detail/search views converging on the mutated set.
+func TestVideoLifecycleEndpoints(t *testing.T) {
+	a, err := classminer.NewAnalyzer(classminer.Options{SkipEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := classminer.NewLibrary(a)
+	s := New(lib, Options{Tokens: testTokens()})
+	t.Cleanup(s.Close)
+	for i := 0; i < 3; i++ {
+		ingestAndWait(t, s, fmt.Sprintf("vid-%d", i), int64(i))
+	}
+
+	// Conflict without the flag; replacement with it.
+	req := map[string]any{"subcluster": "medicine", "saved": tinySavedResult("vid-1", 50, 2)}
+	if code := do(t, s, http.MethodPost, "/v1/videos", "admin-tok", req, nil); code != http.StatusConflict {
+		t.Fatalf("duplicate ingest = %d, want 409", code)
+	}
+	ingestReplaceAndWait(t, s, "vid-1", 50)
+	var detail struct {
+		Shots int `json:"shots"`
+	}
+	if code := do(t, s, http.MethodGet, "/v1/videos/vid-1", "admin-tok", nil, &detail); code != http.StatusOK {
+		t.Fatalf("detail after replace = %d", code)
+	}
+	if detail.Shots != 2 {
+		t.Fatalf("replaced video has %d shots, want 2", detail.Shots)
+	}
+
+	// DELETE gating: anonymous 401, public 403, unknown 404, then success.
+	if code := do(t, s, http.MethodDelete, "/v1/videos/vid-0", "", nil, nil); code != http.StatusUnauthorized {
+		t.Fatalf("anonymous delete = %d, want 401", code)
+	}
+	if code := do(t, s, http.MethodDelete, "/v1/videos/vid-0", "pub-tok", nil, nil); code != http.StatusForbidden {
+		t.Fatalf("public delete = %d, want 403", code)
+	}
+	if code := do(t, s, http.MethodDelete, "/v1/videos/ghost", "admin-tok", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("delete of unknown video = %d, want 404", code)
+	}
+	var del struct {
+		Deleted      string `json:"deleted"`
+		IndexRebuilt bool   `json:"indexRebuilt"`
+	}
+	if code := do(t, s, http.MethodDelete, "/v1/videos/vid-0", "clin-tok", nil, &del); code != http.StatusOK {
+		t.Fatalf("delete = %d", code)
+	}
+	if del.Deleted != "vid-0" || !del.IndexRebuilt {
+		t.Fatalf("delete response = %+v", del)
+	}
+	if code := do(t, s, http.MethodGet, "/v1/videos/vid-0", "admin-tok", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("detail after delete = %d, want 404", code)
+	}
+	var list struct {
+		Videos []videoSummary `json:"videos"`
+	}
+	if code := do(t, s, http.MethodGet, "/v1/videos", "admin-tok", nil, &list); code != http.StatusOK {
+		t.Fatalf("list = %d", code)
+	}
+	for _, v := range list.Videos {
+		if v.Name == "vid-0" {
+			t.Fatal("deleted video still listed")
+		}
+	}
+	// Searches never surface the deleted video's shots.
+	w := doRaw(t, s, http.MethodPost, "/v1/search", "admin-tok", searchBody(1))
+	if w.Code != http.StatusOK {
+		t.Fatalf("search after delete = %d", w.Code)
+	}
+	if bytes.Contains(w.Body.Bytes(), []byte("vid-0")) {
+		t.Fatalf("search still ranks deleted video: %s", w.Body.String())
+	}
+}
+
+// TestReplaceIngestPolicyGated: replace-on-ingest must not supersede a
+// video the policy hides from the caller — the same gate DELETE enforces,
+// checked both at the 202 accept and atomically when the job applies.
+func TestReplaceIngestPolicyGated(t *testing.T) {
+	a, err := classminer.NewAnalyzer(classminer.Options{SkipEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := classminer.NewLibrary(a)
+	s := New(lib, Options{Tokens: testTokens()})
+	t.Cleanup(s.Close)
+	ingestAndWait(t, s, "hidden-vid", 1)
+	lib.Protect(classminer.Rule{Concept: "medicine", MinClearance: classminer.Administrator})
+
+	req := map[string]any{"subcluster": "medicine", "saved": tinySavedResult("hidden-vid", 9, 2), "replace": true}
+	if code := do(t, s, http.MethodPost, "/v1/videos", "clin-tok", req, nil); code != http.StatusForbidden {
+		t.Fatalf("clinician replace of a hidden video = %d, want 403", code)
+	}
+	// The admin may still replace it.
+	ingestReplaceAndWait(t, s, "hidden-vid", 9)
+}
+
+// TestDeleteReplaceCompactKillRestart is the lifecycle acceptance test at
+// the serving layer: mutate a durable library over HTTP (ingest, delete,
+// replace), compact through the admin endpoint, abandon the process
+// SIGKILL-style, recover, and require byte-identical /v1/search responses
+// plus the mutated video set.
+func TestDeleteReplaceCompactKillRestart(t *testing.T) {
+	a, err := classminer.NewAnalyzer(classminer.Options{SkipEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	wopts := classminer.DurableOptions{
+		CheckpointBytes:   -1,
+		CheckpointRecords: -1,
+		CompactBytes:      -1,      // exercised via the admin endpoint
+		SegmentBytes:      2 << 10, // a couple of records per segment: every victim registration seals
+	}
+	lib, err := classminer.Recover(dir, a, wopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(lib, Options{Tokens: testTokens(), CacheSize: -1})
+
+	const n = 8
+	for i := 0; i < n; i++ {
+		ingestAndWait(t, s, fmt.Sprintf("ingested-%02d", i), int64(i))
+	}
+	for i := 0; i < 3; i++ {
+		if code := do(t, s, http.MethodDelete, fmt.Sprintf("/v1/videos/ingested-%02d", i), "admin-tok", nil, nil); code != http.StatusOK {
+			t.Fatalf("delete %d = %d", i, code)
+		}
+	}
+	ingestReplaceAndWait(t, s, "ingested-03", 77)
+	ingestReplaceAndWait(t, s, "ingested-04", 88)
+
+	if code := do(t, s, http.MethodPost, "/v1/admin/compact", "clin-tok", nil, nil); code != http.StatusForbidden {
+		t.Fatalf("clinician compact = %d, want 403", code)
+	}
+	var compactResp struct {
+		Compacted classminer.CompactStats `json:"compacted"`
+		WAL       classminer.WALStats     `json:"wal"`
+	}
+	if code := do(t, s, http.MethodPost, "/v1/admin/compact", "admin-tok", nil, &compactResp); code != http.StatusOK {
+		t.Fatalf("admin compact = %d", code)
+	}
+	if compactResp.Compacted.RecordsDropped != 5 {
+		t.Fatalf("compaction dropped %d records, want 5 (3 deletes + 2 replaces): %+v",
+			compactResp.Compacted.RecordsDropped, compactResp.Compacted)
+	}
+
+	var before []string
+	for q := 0; q < 6; q++ {
+		w := doRaw(t, s, http.MethodPost, "/v1/search", "admin-tok", searchBody(int64(q)))
+		if w.Code != http.StatusOK {
+			t.Fatalf("search %d = %d: %s", q, w.Code, w.Body.String())
+		}
+		before = append(before, w.Body.String())
+	}
+	// SIGKILL-style abandonment (see TestKillAndRestartServesIdenticalSearches).
+	s.pool.Close()
+	if err := lib.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, lib = nil, nil
+
+	recovered, err := classminer.Recover(dir, a, wopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if got := recovered.Stats().Videos; got != n-3 {
+		t.Fatalf("recovered %d videos, want %d", got, n-3)
+	}
+	for i := 0; i < 3; i++ {
+		if recovered.Video(fmt.Sprintf("ingested-%02d", i)) != nil {
+			t.Fatalf("deleted ingested-%02d resurrected", i)
+		}
+	}
+	if err := recovered.BuildIndex(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(recovered, Options{Tokens: testTokens(), CacheSize: -1})
+	t.Cleanup(s2.Close)
+	for q := 0; q < 6; q++ {
+		w := doRaw(t, s2, http.MethodPost, "/v1/search", "admin-tok", searchBody(int64(q)))
+		if w.Code != http.StatusOK {
+			t.Fatalf("recovered search %d = %d", q, w.Code)
+		}
+		if got := w.Body.String(); got != before[q] {
+			t.Fatalf("query %d diverged after compact+recovery:\nbefore: %s\nafter:  %s", q, before[q], got)
+		}
+	}
+}
+
+// TestAdminCompactNotDurable hits the endpoint on a snapshot-mode library.
+func TestAdminCompactNotDurable(t *testing.T) {
+	s := newTestServer(t, Options{})
+	if code := do(t, s, http.MethodPost, "/v1/admin/compact", "admin-tok", nil, nil); code != http.StatusNotImplemented {
+		t.Fatalf("non-durable compact = %d, want 501", code)
+	}
+}
+
 // TestAdminCheckpointEndpoint drives POST /v1/admin/checkpoint: admin-only,
 // 501 on a non-durable library, and on success the WAL lag drops to zero
 // and the generation advances.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -172,6 +173,49 @@ func frameSec(frame int, fps float64) float64 {
 		return 0
 	}
 	return float64(frame) / fps
+}
+
+// --- DELETE /v1/videos/{name} ----------------------------------------------
+
+// handleDeleteVideo retires a video from the library: its entries are
+// removed, the generation advances (cached answers die with it), and on a
+// durable library a WAL tombstone makes the delete crash-safe before
+// anything changes. Deletion is gated like ingestion (IngestClearance) and
+// additionally requires the caller to be allowed to see the video's
+// subcluster — you cannot delete what policy hides from you
+// (DeleteVideoAs runs that check atomically with the removal, so a
+// concurrent replacement cannot slip the video behind a policy wall
+// between check and delete). The index is rebuilt copy-on-write before
+// responding so searches stop ranking the deleted shots (when the delete
+// emptied the library, the index is simply dropped).
+func (s *Server) handleDeleteVideo(w http.ResponseWriter, r *http.Request, name string) {
+	if !s.requireClearance(w, r, s.opts.IngestClearance) {
+		return
+	}
+	if err := s.lib.DeleteVideoAs(userOf(r), name); err != nil {
+		switch {
+		case errors.Is(err, classminer.ErrUnknownVideo):
+			writeError(w, http.StatusNotFound, fmt.Sprintf("no video %q", name))
+		case errors.Is(err, classminer.ErrForbidden):
+			writeError(w, http.StatusForbidden, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	rebuilt := false
+	if s.lib.Size() > 0 {
+		if err := s.lib.BuildIndex(); err != nil {
+			// The delete is committed; only the rebuild failed. Report it
+			// rather than failing the request — the stale index self-heals
+			// on the next successful rebuild.
+			s.opts.Logf("rebuild after deleting %q: %v", name, err)
+		} else {
+			rebuilt = true
+		}
+	}
+	s.opts.Logf("deleted video %q", name)
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": name, "indexRebuilt": rebuilt})
 }
 
 // --- POST /v1/search -------------------------------------------------------
@@ -469,6 +513,10 @@ type ingestRequest struct {
 	Saved *store.SavedResult `json:"saved,omitempty"`
 	// Name overrides the registered video name.
 	Name string `json:"name,omitempty"`
+	// Replace opts into supersede-on-conflict: when the name is already
+	// registered the new mining result replaces it (atomically journaled
+	// on a durable library) instead of the request failing with 409.
+	Replace bool `json:"replace,omitempty"`
 }
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
@@ -507,11 +555,22 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	if s.lib.Video(name) != nil {
-		writeError(w, http.StatusConflict, fmt.Sprintf("video %q already registered", name))
-		return
+	u := userOf(r)
+	if ve := s.lib.Video(name); ve != nil {
+		if !req.Replace {
+			writeError(w, http.StatusConflict, fmt.Sprintf("video %q already registered", name))
+			return
+		}
+		// Superseding destroys the existing registration, so it is gated
+		// like DELETE: the caller must be allowed to see it. This check is
+		// a fast 403; the authoritative one runs atomically inside
+		// ReplaceResultAs/ReplaceVideoAs when the job applies.
+		if !s.lib.Allowed(u, s.subclusterPath(ve.Subcluster)) {
+			writeError(w, http.StatusForbidden, fmt.Sprintf("subcluster %q not accessible", ve.Subcluster))
+			return
+		}
 	}
-	job := &Job{Video: name, Subcluster: req.Subcluster, req: req}
+	job := &Job{Video: name, Subcluster: req.Subcluster, req: req, user: u}
 	if err := s.pool.Submit(job); err != nil {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
@@ -532,6 +591,9 @@ func (s *Server) runJob(j *Job) {
 				return err
 			}
 			res.Video.Name = j.Video
+			if j.req.Replace {
+				return s.lib.ReplaceResultAs(j.user, res, j.Subcluster)
+			}
 			return s.lib.AddResult(res, j.Subcluster)
 		}
 		scale := j.req.Scale
@@ -551,7 +613,11 @@ func (s *Server) runJob(j *Job) {
 			return err
 		}
 		v.Name = j.Video
-		_, err = s.lib.AddVideo(v, j.Subcluster)
+		if j.req.Replace {
+			_, err = s.lib.ReplaceVideoAs(j.user, v, j.Subcluster)
+		} else {
+			_, err = s.lib.AddVideo(v, j.Subcluster)
+		}
 		return err
 	}()
 	if err == nil {
@@ -615,4 +681,28 @@ func (s *Server) handleAdminCheckpoint(w http.ResponseWriter, r *http.Request) {
 	ws, _ := s.lib.WALStats()
 	s.opts.Logf("admin checkpoint: generation %d", ws.Generation)
 	writeJSON(w, http.StatusOK, map[string]any{"checkpointed": true, "wal": ws})
+}
+
+// --- POST /v1/admin/compact ------------------------------------------------
+
+// handleAdminCompact rewrites the WAL's sealed segments on demand, dropping
+// registrations that deletes and replacements superseded (the background
+// compactor handles the dead-bytes-threshold case). Only meaningful when
+// the daemon runs with -data-dir.
+func (s *Server) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
+	if !s.requireClearance(w, r, classminer.Administrator) {
+		return
+	}
+	if !s.lib.Durable() {
+		writeError(w, http.StatusNotImplemented, "library is not durable (start with -data-dir)")
+		return
+	}
+	cs, err := s.lib.Compact()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	ws, _ := s.lib.WALStats()
+	s.opts.Logf("admin compaction: %d records (%d bytes) dropped", cs.RecordsDropped, cs.BytesFreed)
+	writeJSON(w, http.StatusOK, map[string]any{"compacted": cs, "wal": ws})
 }

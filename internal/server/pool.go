@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"classminer/internal/access"
 )
 
 // JobStatus is an ingest job's lifecycle state.
@@ -33,6 +35,10 @@ type Job struct {
 
 	// payload, set by the ingest handler, consumed by Server.runJob.
 	req ingestRequest
+	// user is the submitter's identity, carried to the worker so a
+	// replace-on-ingest is policy-gated against the video it supersedes at
+	// apply time, not just at the 202 accept.
+	user access.User
 }
 
 // ErrQueueFull is returned by Submit when the pending queue is at depth;

@@ -128,9 +128,15 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
 		}
 	case strings.HasPrefix(path, "/v1/videos/"):
-		s.get(w, r, func(w http.ResponseWriter, r *http.Request) {
-			s.handleVideoDetail(w, r, strings.TrimPrefix(path, "/v1/videos/"))
-		})
+		name := strings.TrimPrefix(path, "/v1/videos/")
+		switch r.Method {
+		case http.MethodGet:
+			s.handleVideoDetail(w, r, name)
+		case http.MethodDelete:
+			s.handleDeleteVideo(w, r, name)
+		default:
+			writeError(w, http.StatusMethodNotAllowed, "use GET or DELETE")
+		}
 	case path == "/v1/search":
 		s.post(w, r, s.handleSearch)
 	case path == "/v1/search/batch":
@@ -147,6 +153,8 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 		s.post(w, r, s.handleAdminSave)
 	case path == "/v1/admin/checkpoint":
 		s.post(w, r, s.handleAdminCheckpoint)
+	case path == "/v1/admin/compact":
+		s.post(w, r, s.handleAdminCompact)
 	default:
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no route %s", r.URL.Path))
 	}

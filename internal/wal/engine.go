@@ -44,16 +44,33 @@ type Engine struct {
 	man        manifest
 	lagRecords int64 // appended since the last checkpoint
 	lagBytes   int64
-	damaged    bool // Replay stopped early at a damaged or missing segment
-	dirty      bool // unsynced writes on the active segment
-	wedged     bool // an append failure could not be undone; log refuses writes
-	buf        []byte
-	source     func(io.Writer) error
-	closed     bool
+	// deadRecords/deadBytes estimate the superseded share of the lag:
+	// callers report each registration a tombstone or replacement killed
+	// via NoteDead, and Compact resets the estimate to the exact residue
+	// it could not reclaim (dead records still in the active segment).
+	// deadActiveBytes is that known-unreclaimable residue — the compact
+	// trigger subtracts it so a pile of active-side dead bytes cannot
+	// kick futile full-log passes; rotation zeroes it (sealing makes the
+	// residue reclaimable again).
+	deadRecords     int64
+	deadBytes       int64
+	deadActiveBytes int64
+	damaged         bool // Replay stopped early at a damaged or missing segment
+	dirty           bool // unsynced writes on the active segment
+	wedged          bool // an append failure could not be undone; log refuses writes
+	buf             []byte
+	source          func(io.Writer) error
+	closed          bool
 
-	kick chan struct{} // nudges the background checkpointer
-	done chan struct{}
-	wg   sync.WaitGroup
+	// compactHook, when non-nil, runs between Compact's commit stages
+	// (test-only fault injection: a returned error aborts mid-flight the
+	// way a crash would).
+	compactHook func(stage string, seg uint64) error
+
+	kick        chan struct{} // nudges the background checkpointer
+	compactKick chan struct{} // nudges the background compactor
+	done        chan struct{}
+	wg          sync.WaitGroup
 }
 
 // Open opens (creating if needed) the data directory and repairs it: stale
@@ -81,13 +98,14 @@ func Open(dir string, opts Options) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		dir:      dir,
-		opts:     opts,
-		lock:     lock,
-		man:      man,
-		segStart: man.FirstSegment,
-		kick:     make(chan struct{}, 1),
-		done:     make(chan struct{}),
+		dir:         dir,
+		opts:        opts,
+		lock:        lock,
+		man:         man,
+		segStart:    man.FirstSegment,
+		kick:        make(chan struct{}, 1),
+		compactKick: make(chan struct{}, 1),
+		done:        make(chan struct{}),
 	}
 	if err := e.pruneStale(); err != nil {
 		return nil, err
@@ -128,6 +146,8 @@ func Open(dir string, opts Options) (*Engine, error) {
 	}
 	e.wg.Add(1)
 	go e.checkpointLoop()
+	e.wg.Add(1)
+	go e.compactLoop()
 	ok = true
 	return e, nil
 }
@@ -161,6 +181,21 @@ func (e *Engine) pruneStale() error {
 			if err := os.Remove(filepath.Join(e.dir, name)); err != nil {
 				return fmt.Errorf("wal: %w", err)
 			}
+		}
+	}
+	// Orphaned atomic-write temps: a crash inside WriteFileAtomic — a
+	// checkpoint snapshot, a manifest replacement or a compaction segment
+	// rewrite — leaves its temp file behind (the rename never ran, so the
+	// live files are untouched). They are never named by the manifest and
+	// never parse as segments or snapshots; clear them out.
+	temps, err := listTempFiles(e.dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range temps {
+		e.opts.Logf("wal: pruning orphaned temp file %s", name)
+		if err := os.Remove(filepath.Join(e.dir, name)); err != nil {
+			return fmt.Errorf("wal: %w", err)
 		}
 	}
 	return nil
@@ -387,6 +422,38 @@ func (e *Engine) lagExceededLocked() bool {
 		(e.opts.CheckpointRecords > 0 && e.lagRecords >= e.opts.CheckpointRecords)
 }
 
+// NoteDead reports that records already on the log have been superseded — a
+// registration a tombstone or replacement just killed — so the engine can
+// weigh sealed-segment compaction. The caller supplies the on-log size of
+// the superseded records (payload plus FrameOverhead); the figure is an
+// estimate that Compact later replaces with the exact residue, so a stale
+// or duplicate note degrades to an early compaction, never to data loss.
+func (e *Engine) NoteDead(records, bytes int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed || records <= 0 {
+		return
+	}
+	e.deadRecords += records
+	e.deadBytes += bytes
+	e.maybeKickCompactLocked()
+}
+
+// maybeKickCompactLocked nudges the background compactor once enough
+// presumed-reclaimable dead bytes accumulate — the estimate minus the
+// residue the last pass proved lives in the active segment — and there is
+// at least one sealed segment to reclaim them from (active-side dead
+// records are unreachable until rotation seals them — rotateLocked
+// re-evaluates then). Callers hold e.mu.
+func (e *Engine) maybeKickCompactLocked() {
+	if e.opts.CompactBytes > 0 && e.deadBytes-e.deadActiveBytes >= e.opts.CompactBytes && e.activeIdx > e.segStart {
+		select {
+		case e.compactKick <- struct{}{}:
+		default: // a compaction is already pending
+		}
+	}
+}
+
 // rotateLocked seals the active segment and starts the next one. Callers
 // hold e.mu. State is only committed once the new segment is fully open
 // and durable, so a failed rotation (disk full, fsync error) leaves the
@@ -422,6 +489,10 @@ func (e *Engine) rotateLocked() error {
 		// The old segment is already synced; nothing is lost.
 		e.opts.Logf("wal: closing sealed %s: %v", segmentName(next-1), err)
 	}
+	// The just-sealed segment may carry dead records compaction could not
+	// reach while it was active.
+	e.deadActiveBytes = 0
+	e.maybeKickCompactLocked()
 	return nil
 }
 
@@ -484,6 +555,10 @@ func (e *Engine) Checkpoint() error {
 	e.man = man
 	e.segStart = cut
 	e.damaged = false // the snapshot supersedes any broken segment chain
+	// The pruned segments take their dead records with them; notes filed
+	// for post-cut straddlers are dropped too (an undercount Compact's
+	// exact recount later repairs).
+	e.deadRecords, e.deadBytes, e.deadActiveBytes = 0, 0, 0
 	e.mu.Unlock()
 
 	// The commit is durable; pruning is best-effort (Open re-prunes).
@@ -505,11 +580,18 @@ func (e *Engine) Checkpoint() error {
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	live := e.lagRecords - e.deadRecords
+	if live < 0 {
+		live = 0
+	}
 	return Stats{
-		Records:    e.lagRecords,
-		Bytes:      e.lagBytes,
-		Segments:   int(e.activeIdx - e.segStart + 1),
-		Generation: e.man.Generation,
+		Records:     e.lagRecords,
+		Bytes:       e.lagBytes,
+		DeadRecords: e.deadRecords,
+		DeadBytes:   e.deadBytes,
+		LiveRecords: live,
+		Segments:    int(e.activeIdx - e.segStart + 1),
+		Generation:  e.man.Generation,
 	}
 }
 
@@ -523,6 +605,21 @@ func (e *Engine) checkpointLoop() {
 		case <-e.kick:
 			if err := e.Checkpoint(); err != nil && err != ErrClosed {
 				e.opts.Logf("wal: background checkpoint: %v", err)
+			}
+		}
+	}
+}
+
+// compactLoop services dead-bytes kicks from NoteDead and rotateLocked.
+func (e *Engine) compactLoop() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-e.compactKick:
+			if _, err := e.Compact(); err != nil && err != ErrClosed {
+				e.opts.Logf("wal: background compaction: %v", err)
 			}
 		}
 	}
@@ -577,6 +674,13 @@ func (e *Engine) Close() error {
 	e.mu.Unlock()
 	close(e.done)
 	e.wg.Wait()
+	// Serialise with a caller-driven Checkpoint or Compact still in
+	// flight (both hold cpMu; new ones bail on the closed flag): without
+	// this, Close could release the data-dir flock while a zombie
+	// compaction keeps renaming segments and rewriting MANIFEST under a
+	// successor engine's feet.
+	e.cpMu.Lock()
+	defer e.cpMu.Unlock()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	var err error

@@ -1,0 +1,153 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Record envelope: the logical layer above the byte framing of record.go.
+// Every frame payload is one JSON document describing a library mutation.
+// Two shapes are live on disk:
+//
+//   - Typed (this PR onward): {"type":"register","version":1,"key":"v1",
+//     "payload":{…}} — the envelope carries the mutation kind and the video
+//     name (the compaction key), and the payload is the kind-specific body
+//     (a store.SavedLibraryEntry for register/replace, empty for tombstone).
+//
+//   - Legacy (pre-envelope data dirs): a bare store.SavedLibraryEntry
+//     document. It has no "type" member, which is how DecodeRecord tells the
+//     shapes apart; it always means a registration, so existing data
+//     directories recover unchanged.
+//
+// The envelope lives in this package — not in classminer — because the
+// compactor must classify records without the library: a register or
+// replace record is dead once a later tombstone or replace for the same key
+// exists, and that rule is all compaction needs to know about payloads.
+const (
+	// RecordRegister adds a video under a new name. Replay skips it when
+	// the name already exists (the checkpoint-straddler case: the record is
+	// both in the snapshot and on the log tail).
+	RecordRegister = "register"
+	// RecordTombstone deletes a video by name. Replay applies it even when
+	// the registration came from the checkpoint snapshot — delete wins over
+	// a straddling checkpointed registration — and ignores unknown names
+	// (the tombstone may itself straddle a checkpoint that already dropped
+	// the video).
+	RecordTombstone = "tombstone"
+	// RecordReplace atomically supersedes a video: replay removes any
+	// existing registration under the key and installs the payload. One
+	// record, so a crash can never leave the delete without the re-add.
+	RecordReplace = "replace"
+)
+
+// recordVersion is the envelope schema version this build writes and the
+// only one it accepts; legacy frames (no envelope at all) report version 0.
+const recordVersion = 1
+
+// Record is one decoded log record.
+type Record struct {
+	// Type is one of the Record* kinds.
+	Type string `json:"type"`
+	// Version is the envelope schema version (0 for a legacy bare frame).
+	Version int `json:"version"`
+	// Key is the video name the record is about — the identity compaction
+	// and replay dedupe on. Empty only for a legacy frame whose payload
+	// could not be probed (such records are never dropped by compaction).
+	Key string `json:"key,omitempty"`
+	// Payload is the kind-specific body: a store.SavedLibraryEntry JSON
+	// document for register/replace (for a legacy frame, the whole frame),
+	// empty for tombstone.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// EncodeRecord serialises one typed record for Append. payload may be nil
+// for tombstones.
+func EncodeRecord(kind, key string, payload []byte) ([]byte, error) {
+	switch kind {
+	case RecordRegister, RecordReplace:
+		if len(payload) == 0 {
+			return nil, fmt.Errorf("wal: %s record needs a payload", kind)
+		}
+	case RecordTombstone:
+		if len(payload) != 0 {
+			return nil, fmt.Errorf("wal: tombstone record takes no payload")
+		}
+	default:
+		return nil, fmt.Errorf("wal: unknown record kind %q", kind)
+	}
+	if key == "" {
+		return nil, fmt.Errorf("wal: %s record needs a key", kind)
+	}
+	// Encode without HTML escaping so the payload embeds byte-for-byte
+	// (modulo JSON whitespace compaction): compaction copies surviving
+	// frames verbatim, and keeping encode deterministic and transparent
+	// makes on-disk records greppable and diffable.
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(Record{Type: kind, Version: recordVersion, Key: key, Payload: payload}); err != nil {
+		return nil, fmt.Errorf("wal: encoding %s record: %w", kind, err)
+	}
+	return bytes.TrimSuffix(buf.Bytes(), []byte("\n")), nil
+}
+
+// legacyProbe mirrors just enough of store.SavedLibraryEntry /
+// store.SavedResult to pull the video name out of a legacy bare frame
+// without decoding the whole mined result. envelope_test.go pins it against
+// store's actual encoding so the tags cannot drift apart silently.
+type legacyProbe struct {
+	Result struct {
+		VideoName string `json:"videoName"`
+	} `json:"result"`
+}
+
+// DecodeRecord parses one frame payload into a Record. Legacy bare
+// store.SavedLibraryEntry frames (no "type" member) decode as version-0
+// registrations whose Payload is the whole frame, so every pre-envelope
+// data directory replays exactly as it did before typed records existed.
+func DecodeRecord(frame []byte) (Record, error) {
+	var rec Record
+	if err := json.Unmarshal(frame, &rec); err != nil {
+		return Record{}, fmt.Errorf("wal: decoding record envelope: %w", err)
+	}
+	if rec.Type == "" {
+		// Legacy frame. The key probe is best-effort: a frame it cannot
+		// name still registers fine (classminer decodes the full payload);
+		// it is only invisible to compaction.
+		var p legacyProbe
+		if err := json.Unmarshal(frame, &p); err == nil {
+			rec.Key = p.Result.VideoName
+		}
+		return Record{Type: RecordRegister, Version: 0, Key: rec.Key, Payload: frame}, nil
+	}
+	switch rec.Type {
+	case RecordRegister, RecordTombstone, RecordReplace:
+	default:
+		return Record{}, fmt.Errorf("wal: unknown record type %q", rec.Type)
+	}
+	if rec.Version != recordVersion {
+		return Record{}, fmt.Errorf("wal: record version %d unsupported (want %d)", rec.Version, recordVersion)
+	}
+	if rec.Key == "" {
+		return Record{}, fmt.Errorf("wal: %s record has no key", rec.Type)
+	}
+	if (rec.Type == RecordRegister || rec.Type == RecordReplace) && len(rec.Payload) == 0 {
+		return Record{}, fmt.Errorf("wal: %s record has no payload", rec.Type)
+	}
+	return rec, nil
+}
+
+// supersedes reports whether a record of this kind makes every earlier
+// record for the same key dead: a tombstone or replace fully determines the
+// key's state regardless of what preceded it, a register does not (replay
+// skips it when the key already exists, so dropping an earlier record would
+// change what survives).
+func (r Record) supersedes() bool {
+	return r.Type == RecordTombstone || r.Type == RecordReplace
+}
+
+// FrameOverhead is the per-record framing cost in bytes on top of the
+// payload (the length + CRC header). Callers accounting for on-log record
+// sizes — the library's dead-bytes bookkeeping — add it to len(payload).
+const FrameOverhead = headerSize

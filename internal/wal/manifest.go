@@ -104,6 +104,30 @@ func listSegments(dir string) ([]uint64, error) {
 	return segs, nil
 }
 
+// listTempFiles returns the names of orphaned WriteFileAtomic temps in dir:
+// files a crashed atomic write of one of the engine's own artefacts
+// (segment, snapshot, MANIFEST) left behind. The ".tmp" infix can never
+// appear in a committed name, so matching it alongside a known prefix is
+// safe — nothing the manifest could name is ever returned.
+func listTempFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var temps []string
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.Contains(name, ".tmp") {
+			continue
+		}
+		if strings.HasPrefix(name, segPrefix) || strings.HasPrefix(name, snapPrefix) ||
+			strings.HasPrefix(name, manifestName+".tmp") {
+			temps = append(temps, name)
+		}
+	}
+	return temps, nil
+}
+
 // listSnapshots returns the generations of dir's snapshot files.
 func listSnapshots(dir string) ([]uint64, error) {
 	entries, err := os.ReadDir(dir)

@@ -69,6 +69,13 @@ type Options struct {
 	// CheckpointRecords likewise triggers on record count (default 10000;
 	// negative disables).
 	CheckpointRecords int64
+	// CompactBytes triggers a background sealed-segment compaction once
+	// that many dead bytes — records superseded by later tombstones or
+	// replacements, reported via NoteDead — accumulate on the log (default
+	// 8 MiB; negative disables). Compaction is cheaper than a checkpoint:
+	// it rewrites only the sealed segments that shrank, not a full
+	// snapshot.
+	CompactBytes int64
 	// Logf receives recovery and checkpoint notices (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -86,6 +93,9 @@ func (o Options) withDefaults() Options {
 	if o.CheckpointRecords == 0 {
 		o.CheckpointRecords = 10000
 	}
+	if o.CompactBytes == 0 {
+		o.CompactBytes = 8 << 20
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -99,6 +109,16 @@ type Stats struct {
 	// Records and Bytes count the log appended since the last checkpoint.
 	Records int64 `json:"records"`
 	Bytes   int64 `json:"bytes"`
+	// DeadRecords and DeadBytes estimate how much of that log is
+	// superseded — registrations a later tombstone or replacement made
+	// irrelevant (reported via NoteDead, recomputed exactly by Compact).
+	// Dead log is pure replay and disk waste; compaction reclaims the
+	// sealed-segment share of it.
+	DeadRecords int64 `json:"deadRecords"`
+	DeadBytes   int64 `json:"deadBytes"`
+	// LiveRecords is Records minus DeadRecords: the portion of the replay
+	// a recovery actually keeps.
+	LiveRecords int64 `json:"liveRecords"`
 	// Segments is the number of live log segments (replayed on recovery).
 	Segments int `json:"segments"`
 	// Generation counts completed checkpoints.

@@ -12,7 +12,7 @@ import (
 )
 
 // collect replays eng into a slice of payload copies.
-func collect(t *testing.T, eng *Engine) [][]byte {
+func collect(t testing.TB, eng *Engine) [][]byte {
 	t.Helper()
 	var out [][]byte
 	if err := eng.Replay(func(p []byte) error {
@@ -32,7 +32,7 @@ func payloads(n int) [][]byte {
 	return out
 }
 
-func appendAll(t *testing.T, eng *Engine, recs [][]byte) {
+func appendAll(t testing.TB, eng *Engine, recs [][]byte) {
 	t.Helper()
 	for i, r := range recs {
 		if err := eng.Append(r); err != nil {
@@ -41,7 +41,7 @@ func appendAll(t *testing.T, eng *Engine, recs [][]byte) {
 	}
 }
 
-func mustEqual(t *testing.T, got, want [][]byte) {
+func mustEqual(t testing.TB, got, want [][]byte) {
 	t.Helper()
 	if len(got) != len(want) {
 		t.Fatalf("replayed %d records, want %d", len(got), len(want))
