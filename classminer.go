@@ -183,9 +183,17 @@ type Library struct {
 	featDim  int
 	ix       *index.Index
 	// entriesVer counts entry-set mutations; ixVer is the entriesVer the
-	// installed index was built from (index is stale while they differ).
-	entriesVer int64
-	ixVer      int64
+	// installed index reflects (index is stale while they differ —
+	// incremental maintenance usually keeps them equal). ixFitVer is the
+	// entriesVer of the installed index's last *full fit*: the gap between
+	// it and ixVer is served by the incremental overlay. lastRemoveVer
+	// records the entriesVer of the most recent removal, which compacts the
+	// entry arrays — a BuildIndex snapshotted before it fit rows that no
+	// longer exist and must be discarded.
+	entriesVer    int64
+	ixVer         int64
+	ixFitVer      int64
+	lastRemoveVer int64
 	// gen counts every mutation that can change what a query returns
 	// (registration, index swap, policy change). Caches key on it.
 	gen int64
@@ -208,6 +216,12 @@ type Library struct {
 	// local accumulator while Recover replays (the engine's counters are
 	// seeded from it afterwards), nil on a non-durable library.
 	deadNote func(records, bytes int64)
+	// pendingAck tracks registrations that are installed and staged on the
+	// log but whose group commit has not resolved yet: the name maps to the
+	// staged record's durability handle. Save waits these out (or drops the
+	// ones whose batched fsync failed) so a snapshot never strands a record
+	// the log was about to make durable — or resurrect one it clawed back.
+	pendingAck map[string]wal.Commit
 }
 
 // NewLibrary creates an empty library using the Fig. 2 medical concept
@@ -290,17 +304,21 @@ func (l *Library) AddResult(res *Result, subcluster string) error {
 // refusing names the library already holds.
 //
 // On a durable library the registration is write-ahead logged: the encoded
-// record is appended (and, under SyncAlways, fsynced) before any in-memory
-// state changes, so every registration the caller saw succeed is replayed
-// by Recover after a crash. Validation runs first — a registration that
-// would fail must never reach the log, or replay would resurrect it.
-// That ordering is why the fsync happens under the write lock: journaling
-// before the lock would ack-or-log records whose validation later fails.
-// The stall it imposes on readers is one fsync per *registration* — a
-// pool-bounded, mining-dominated path — not per query, which is the
-// opposite tradeoff from Save/BuildIndex (both serialise outside the lock
-// because they scale with library size). The same contract covers replace
-// and DeleteVideo.
+// record is staged on the log before any in-memory state changes, so every
+// registration the caller saw succeed is replayed by Recover after a crash.
+// Validation runs first — a registration that would fail must never reach
+// the log, or replay would resurrect it. The stage and the install happen
+// in one critical section (log order always equals install order), but the
+// covering fsync is *waited for outside the write lock*: concurrent
+// registrations stage into the same write-ahead-log batch and share one
+// group-commit flush, so durable ingest throughput scales with writers
+// instead of serialising the whole pool on one disk flush per record. The
+// registration is visible to searches the moment it is installed, a
+// deliberate pre-ack read: if the batched fsync fails, the install is
+// compensated away and the caller told the registration failed — exactly
+// what the log (which clawed the record back) will replay. Replace and
+// DeleteVideo keep their synchronous shape (stage, wait, then apply under
+// the lock) — they still coalesce into whatever batch is in flight.
 func (l *Library) register(name string, res *Result, subcluster string) error {
 	// Encode the journal record outside the write lock: serialising a
 	// large mined result is the slow part and needs no library state.
@@ -308,24 +326,65 @@ func (l *Library) register(name string, res *Result, subcluster string) error {
 	if err != nil {
 		return err
 	}
+	// Deriving the index entries needs no library state; do it outside the
+	// write lock so concurrent registrations overlap the work instead of
+	// queueing it behind one another.
+	newEntries := res.IndexEntries(subcluster)
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if _, dup := l.videos[name]; dup {
+		l.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrDuplicateVideo, name)
 	}
-	newEntries := res.IndexEntries(subcluster)
 	dim, err := l.checkEntryDims(name, newEntries, l.featDim)
 	if err != nil {
+		l.mu.Unlock()
 		return err
 	}
-	if rec != nil && l.journal != nil {
-		if err := l.journal.Append(rec); err != nil {
-			return fmt.Errorf("classminer: journaling %q: %w", name, err)
-		}
-		l.setLogSizeLocked(name, int64(len(rec))+wal.FrameOverhead)
+	if rec == nil || l.journal == nil {
+		l.installLocked(name, res, subcluster, newEntries, dim)
+		l.mu.Unlock()
+		return nil
 	}
+	c, err := l.journal.Begin(rec)
+	if err != nil {
+		l.mu.Unlock()
+		return fmt.Errorf("classminer: journaling %q: %w", name, err)
+	}
+	l.setLogSizeLocked(name, int64(len(rec))+wal.FrameOverhead)
 	l.installLocked(name, res, subcluster, newEntries, dim)
+	ve := l.videos[name]
+	if l.pendingAck == nil {
+		l.pendingAck = map[string]wal.Commit{}
+	}
+	l.pendingAck[name] = c
+	l.mu.Unlock()
+
+	if err := c.Wait(); err != nil {
+		l.undoUnacked(name, ve)
+		return fmt.Errorf("classminer: journaling %q: %w", name, err)
+	}
+	l.mu.Lock()
+	delete(l.pendingAck, name)
+	l.mu.Unlock()
 	return nil
+}
+
+// undoUnacked compensates a registration whose staged record was clawed
+// back by a failed batched fsync: the install is removed again (unless a
+// replacement — whose own record post-dates ours on the log — already owns
+// the name) so in-memory state, the caller's error, and the next replay all
+// agree the registration never happened.
+func (l *Library) undoUnacked(name string, ve *VideoEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.pendingAck, name)
+	if l.videos[name] != ve {
+		return
+	}
+	// The record never survived on the log, so there is nothing to report
+	// dead to the compaction trigger.
+	delete(l.logBytes, name)
+	l.removeLocked(name)
 }
 
 // replace installs a mined result under name, superseding any existing
@@ -422,8 +481,11 @@ func (l *Library) checkEntryDims(name string, newEntries []*index.Entry, dim int
 // installLocked commits a validated registration to in-memory state:
 // feature rows are appended to the flat matrix (once per shot, so index
 // rebuilds never re-extract them) and the entry set and generation advance.
-// The installed index is left in place — still serving, now stale — until
-// the next BuildIndex. Callers hold l.mu.
+// When the serving index was current, the new entries are inserted into it
+// incrementally (copy-on-write, no refit) so the registration is
+// searchable the moment the caller is acknowledged; otherwise — or when an
+// entry's concept path has no leaf in the built tree — the index is left
+// stale for the coalesced rebuilder. Callers hold l.mu.
 func (l *Library) installLocked(name string, res *Result, subcluster string, newEntries []*index.Entry, dim int) {
 	l.featDim = dim
 	for _, e := range newEntries {
@@ -432,18 +494,35 @@ func (l *Library) installLocked(name string, res *Result, subcluster string, new
 	}
 	l.videos[name] = &VideoEntry{Result: res, Subcluster: subcluster}
 	l.entries = append(l.entries, newEntries...)
+	wasCurrent := l.ix != nil && l.ixVer == l.entriesVer
 	l.entriesVer++
 	l.gen++
+	if !wasCurrent {
+		return
+	}
+	ix := l.ix
+	for _, e := range newEntries {
+		nix, err := ix.Insert(e)
+		if err != nil {
+			// A brand-new concept (or any other incremental limit): keep the
+			// pre-mutation index serving and flag staleness instead.
+			return
+		}
+		ix = nix
+	}
+	l.ix = ix
+	l.ixVer = l.entriesVer
 }
 
 // removeLocked unregisters name, if present, and compacts the entry list
 // and flat feature matrix. Both are rebuilt into *fresh* backing arrays,
 // never edited in place: BuildIndex snapshots alias the old arrays
 // (capacity-capped slices), and a concurrent search against the installed
-// index must keep reading consistent rows until the next swap. The old
-// index keeps serving — stale, possibly still ranking the deleted shots —
-// until BuildIndex; the generation bump invalidates response caches
-// immediately. Callers hold l.mu.
+// index must keep reading consistent rows until the next swap. When the
+// serving index was current, the deleted entries are masked out of it
+// incrementally (copy-on-write) so searches stop ranking them immediately;
+// the generation bump invalidates response caches either way. Callers hold
+// l.mu.
 func (l *Library) removeLocked(name string) bool {
 	if _, ok := l.videos[name]; !ok {
 		return false
@@ -463,26 +542,38 @@ func (l *Library) removeLocked(name string) bool {
 			data = append(data, l.featData[i*l.featDim:(i+1)*l.featDim]...)
 		}
 	}
+	wasCurrent := l.ix != nil && l.ixVer == l.entriesVer
 	l.entries = kept
 	l.featData = data
 	empty := len(l.entries) == 0
-	if empty {
+	if empty && len(l.pendingAck) == 0 {
 		// Nothing left to index: drop the installed index now rather than
 		// serve a library of ghosts until a BuildIndex that would error,
 		// and forget the feature dimensionality — it was learned from the
 		// registrations just removed, and an empty library constrains
-		// nothing (the next registration re-establishes it).
+		// nothing (the next registration re-establishes it). An in-flight
+		// unacknowledged registration still pins the dimensionality: its
+		// entries validated against it and are about to install.
 		l.ix = nil
 		l.featDim = 0
 		l.featData = nil
+	} else if empty {
+		l.ix = nil
 	}
 	l.entriesVer++
 	l.gen++
-	if empty {
+	l.lastRemoveVer = l.entriesVer
+	switch {
+	case empty:
 		// Fence out in-flight builds: a BuildIndex snapshotted before this
-		// delete would otherwise pass the `ver >= ixVer` swap guard and
-		// reinstall an index of the just-deleted entries — permanently,
-		// since BuildIndex on an empty library only errors.
+		// delete would otherwise reinstall an index of the just-deleted
+		// entries — permanently, since BuildIndex on an empty library only
+		// errors. (lastRemoveVer already discards them; the ixVer fence
+		// keeps IndexStale reporting sane.)
+		l.ixVer = l.entriesVer
+	case wasCurrent:
+		nix, _ := l.ix.Remove(name)
+		l.ix = nix
 		l.ixVer = l.entriesVer
 	}
 	if n := l.logBytes[name]; n > 0 {
@@ -661,11 +752,17 @@ func (l *Library) ReplaceVideoAs(u User, v *Video, subcluster string) (*Result, 
 	return res, l.replace(v.Name, res, subcluster, l.visibleTo(u))
 }
 
-// BuildIndex (re)builds the hierarchical index over all registered videos.
-// The fit runs outside the lock against a snapshot of the entries, so
-// concurrent searches keep answering from the previous index until the new
-// one is swapped in. Concurrent builds are safe: an older build never
-// overwrites the result of a newer one.
+// BuildIndex (re)builds the hierarchical index over all registered videos
+// — the full fit that resets the incremental overlay's staleness. The fit
+// runs outside the lock against a snapshot of the entries, so concurrent
+// searches keep answering from the previous index until the new one is
+// swapped in, and registrations that land *while* the fit runs are caught
+// up by inserting them incrementally into the fresh fit before the swap —
+// a rebuild is never discarded just because ingest outpaced it. Only a
+// removal racing the fit discards it (the entry arrays were compacted
+// under it); the caller — typically the coalesced rebuilder — simply
+// retries. Concurrent builds are safe: an older fit never overwrites a
+// newer one.
 func (l *Library) BuildIndex() error {
 	l.mu.RLock()
 	entries := l.entries[:len(l.entries):len(l.entries)]
@@ -687,12 +784,69 @@ func (l *Library) BuildIndex() error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if ver >= l.ixVer {
-		l.ix = ix
-		l.ixVer = ver
-		l.gen++
+	if ver < l.ixFitVer {
+		return nil // a newer fit already landed; keep it
 	}
+	if l.lastRemoveVer > ver {
+		// A delete or replacement compacted the entry arrays after this fit
+		// snapshotted them: the fit describes rows that no longer line up
+		// with the library. Discard it; staleness stays flagged and the
+		// rebuilder retries against the compacted arrays.
+		return nil
+	}
+	// No removal ran, so l.entries is the snapshot's own backing array,
+	// possibly grown: everything past the snapshot is a registration to
+	// catch up on.
+	caughtUp := true
+	for _, e := range l.entries[len(entries):] {
+		nix, ierr := ix.Insert(e)
+		if ierr != nil {
+			caughtUp = false // new concept mid-fit: install the fit, stay stale
+			break
+		}
+		ix = nix
+	}
+	l.ix = ix
+	l.ixFitVer = ver
+	if caughtUp {
+		l.ixVer = l.entriesVer
+	} else {
+		l.ixVer = ver
+	}
+	l.gen++
 	return nil
+}
+
+// IndexStaleness reports the serving index's incremental-overlay fraction:
+// how much of it (entries inserted or masked since the last full fit,
+// relative to that fit's size) is approximation on top of the fitted
+// structure. 0 means freshly fit or no index; the rebuild budget compares
+// against it.
+func (l *Library) IndexStaleness() float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.ix == nil {
+		return 0
+	}
+	return l.ix.Staleness()
+}
+
+// RebuildNeeded reports whether a full index rebuild is warranted: there is
+// something to index and either no current index serves (a mutation the
+// incremental path could not absorb, or none was ever built) or the
+// incremental overlay has outgrown the staleness budget. The serving
+// layer's coalesced rebuilder polls this instead of rebuilding per
+// mutation.
+func (l *Library) RebuildNeeded(budget float64) bool {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.entries) == 0 {
+		return false
+	}
+	if l.ix == nil || l.entriesVer != l.ixVer {
+		return true
+	}
+	return l.ix.Staleness() > budget
 }
 
 // IndexStale reports whether videos were registered after the installed
@@ -706,11 +860,15 @@ func (l *Library) IndexStale() bool {
 // LibraryStats is a point-in-time snapshot of a library's size and index
 // state, the payload of the daemon's /v1/stats endpoint.
 type LibraryStats struct {
-	Videos       int   `json:"videos"`
-	Shots        int   `json:"shots"`
-	IndexedShots int   `json:"indexedShots"`
-	IndexStale   bool  `json:"indexStale"`
-	Generation   int64 `json:"generation"`
+	Videos       int  `json:"videos"`
+	Shots        int  `json:"shots"`
+	IndexedShots int  `json:"indexedShots"`
+	IndexStale   bool `json:"indexStale"`
+	// IndexStaleness is the serving index's incremental-overlay fraction
+	// (inserted+removed since the last full fit, relative to that fit);
+	// the rebuild budget is compared against it.
+	IndexStaleness float64 `json:"indexStaleness"`
+	Generation     int64   `json:"generation"`
 	// WAL is the durable log's lag since its last checkpoint; nil when the
 	// library is not durable.
 	WAL *WALStats `json:"wal,omitempty"`
@@ -728,6 +886,7 @@ func (l *Library) Stats() LibraryStats {
 	}
 	if l.ix != nil {
 		st.IndexedShots = l.ix.Size()
+		st.IndexStaleness = l.ix.Staleness()
 	}
 	if l.journal != nil {
 		ws := l.journal.Stats()
@@ -793,14 +952,22 @@ func (l *Library) Size() int {
 // policy filters what the user may see. The §6.2 cost statistics of the
 // index traversal are returned alongside.
 func (l *Library) Search(u User, query []float64, k int) ([]SearchHit, SearchStats, error) {
+	return l.SearchInto(nil, u, query, k)
+}
+
+// SearchInto is Search writing its ranked, policy-filtered hits into dst
+// (grown only when capacity is insufficient). A caller that reuses one
+// buffer — the serving layer pools them per request — makes the whole
+// query path allocation-free. The returned slice aliases dst.
+func (l *Library) SearchInto(dst []SearchHit, u User, query []float64, k int) ([]SearchHit, SearchStats, error) {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	if l.ix == nil {
 		return nil, SearchStats{}, fmt.Errorf("classminer: index not built (call BuildIndex)")
 	}
-	hits, stats := l.ix.Search(query, k)
-	filtered := access.Filter(l.policy, u, hits, func(h SearchHit) []string { return h.Entry.Path })
-	return filtered, stats, nil
+	hits, stats := l.ix.SearchInto(dst, query, k)
+	hits = access.FilterInPlace(l.policy, u, hits, func(h SearchHit) []string { return h.Entry.Path })
+	return hits, stats, nil
 }
 
 // SearchBatch answers many query-by-example searches in one call: the index
@@ -864,12 +1031,26 @@ func (l *Library) Save(w io.Writer) error {
 	}
 	sort.Strings(names)
 	ves := make([]*VideoEntry, len(names))
+	pend := make(map[string]wal.Commit, len(l.pendingAck))
 	for i, name := range names {
 		ves[i] = l.videos[name]
+		if c, ok := l.pendingAck[name]; ok {
+			pend[name] = c
+		}
 	}
 	l.mu.RUnlock()
 	entries := make([]store.SavedLibraryEntry, 0, len(names))
 	for i, name := range names {
+		if c, ok := pend[name]; ok {
+			// The registration is installed but its group commit has not
+			// resolved. Wait it out (outside the lock — this can even lead
+			// the flush): on success the record is durable and belongs in
+			// the snapshot; on failure it was clawed back and the install
+			// is being compensated, so the snapshot must not resurrect it.
+			if c.Wait() != nil {
+				continue
+			}
+		}
 		saved, err := store.EncodeResult(ves[i].Result)
 		if err != nil {
 			return fmt.Errorf("classminer: saving %q: %w", name, err)
@@ -939,9 +1120,14 @@ func Recover(dir string, a *Analyzer, opts DurableOptions) (*Library, error) {
 		replayDeadBytes += bytes
 	}
 	l.mu.Unlock()
+	// Replay reuses one scratch Record and one scratch SavedLibraryEntry
+	// across the whole log tail — the per-record work is the decode, and a
+	// 10k-record recovery should not also pay 10k envelope re-parses and
+	// scratch allocations.
+	var rec wal.Record
+	var sv store.SavedLibraryEntry
 	err = eng.Replay(func(payload []byte) error {
-		rec, err := wal.DecodeRecord(payload)
-		if err != nil {
+		if err := wal.DecodeRecordInto(&rec, payload); err != nil {
 			return fmt.Errorf("classminer: %w", err)
 		}
 		size := int64(len(payload)) + wal.FrameOverhead
@@ -953,7 +1139,7 @@ func Recover(dir string, a *Analyzer, opts DurableOptions) (*Library, error) {
 			l.remove(rec.Key)
 			return nil
 		}
-		var sv store.SavedLibraryEntry
+		sv = store.SavedLibraryEntry{}
 		if err := json.Unmarshal(rec.Payload, &sv); err != nil {
 			return fmt.Errorf("classminer: decoding journal record: %w", err)
 		}

@@ -106,6 +106,10 @@ type config struct {
 	skipEvents bool
 	tokens     map[string]access.User
 
+	// write-path index maintenance
+	rebuildAfter    float64
+	rebuildDebounce time.Duration
+
 	// durable-mode tuning (only read when dataDir is set)
 	fsync        string
 	fsyncEvery   time.Duration
@@ -131,6 +135,8 @@ func main() {
 	flag.IntVar(&cfg.queue, "queue", 8, "ingest queue depth")
 	flag.IntVar(&cfg.cacheSize, "cache", 256, "search cache entries (negative disables)")
 	flag.BoolVar(&cfg.skipEvents, "skip-events", false, "mine structure only (faster startup, no event queries on bootstrapped videos)")
+	flag.Float64Var(&cfg.rebuildAfter, "rebuild-after", 0.25, "index staleness fraction (inserted+removed since the last full fit) that triggers a background rebuild")
+	flag.DurationVar(&cfg.rebuildDebounce, "rebuild-debounce", 250*time.Millisecond, "how long the rebuilder waits for further mutations to coalesce into one rebuild")
 	flag.StringVar(&cfg.fsync, "fsync", "always", "WAL fsync policy: always, interval or off")
 	flag.DurationVar(&cfg.fsyncEvery, "fsync-interval", 100*time.Millisecond, "background fsync period under -fsync=interval")
 	flag.Int64Var(&cfg.segBytes, "segment-bytes", 4<<20, "WAL segment rotation size")
@@ -178,12 +184,14 @@ func run(cfg config) error {
 	defer lib.Close()
 
 	opts := server.Options{
-		Tokens:       cfg.tokens,
-		CacheSize:    cfg.cacheSize,
-		Workers:      cfg.workers,
-		QueueDepth:   cfg.queue,
-		SnapshotPath: cfg.save,
-		Logf:         logger.Printf,
+		Tokens:          cfg.tokens,
+		CacheSize:       cfg.cacheSize,
+		Workers:         cfg.workers,
+		QueueDepth:      cfg.queue,
+		SnapshotPath:    cfg.save,
+		RebuildBudget:   cfg.rebuildAfter,
+		RebuildDebounce: cfg.rebuildDebounce,
+		Logf:            logger.Printf,
 	}
 	if cfg.anon != "" && cfg.anon != "none" {
 		clearance, err := access.ParseClearance(cfg.anon)

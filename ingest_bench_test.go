@@ -1,0 +1,93 @@
+package classminer
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// durableBenchLibrary opens a fresh fsync=always durable library for ingest
+// benchmarks. Auto-checkpointing is disabled so every iteration measures the
+// append path, not a background snapshot.
+func durableBenchLibrary(b *testing.B) *Library {
+	b.Helper()
+	a, err := NewAnalyzer(Options{SkipEvents: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := quietWAL()
+	opts.Sync = SyncAlways
+	opts.SegmentBytes = 64 << 20
+	lib, err := Recover(b.TempDir(), a, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { lib.Close() })
+	return lib
+}
+
+// benchResults pre-mines b.N tiny results outside the timed loop so the
+// benchmark measures the durable registration path (encode, journal, group
+// commit, install), not test-fixture decoding.
+func benchResults(b *testing.B, prefix string) []*Result {
+	b.Helper()
+	out := make([]*Result, b.N)
+	for i := range out {
+		out[i] = tinyResult(b, fmt.Sprintf("%s-%08d", prefix, i), int64(i), 2)
+	}
+	return out
+}
+
+// BenchmarkDurableIngestSerial is the per-record fsync baseline: one writer,
+// so every registration pays a full fsync before it is acknowledged. This is
+// what the whole ingest pool used to pay per record regardless of
+// concurrency, because the append-and-fsync ran inside the library's write
+// lock.
+func BenchmarkDurableIngestSerial(b *testing.B) {
+	lib := durableBenchLibrary(b)
+	results := benchResults(b, "serial")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := lib.AddResult(results[i], "medicine"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDurableIngestParallel measures sustained durable ingest
+// throughput with 8 concurrent writers under fsync=always — the ISSUE 5
+// target workload. With WAL group commit the writers coalesce onto shared
+// fsyncs, so records/sec scale with the batching ratio instead of paying
+// one disk flush each.
+func BenchmarkDurableIngestParallel(b *testing.B) {
+	lib := durableBenchLibrary(b)
+	results := benchResults(b, "par")
+	const writers = 8
+	var next atomic.Int64
+	b.ResetTimer()
+	done := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func() {
+			var err error
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= b.N {
+					break
+				}
+				if err = lib.AddResult(results[i], "medicine"); err != nil {
+					break
+				}
+			}
+			done <- err
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if ws, ok := lib.WALStats(); ok && ws.Syncs > 0 {
+		b.ReportMetric(float64(ws.Records)/float64(ws.Syncs), "records/fsync")
+	}
+}

@@ -177,3 +177,16 @@ func Filter[T any](p *Policy, u User, items []T, pathOf func(T) []string) []T {
 	}
 	return out
 }
+
+// FilterInPlace is Filter compacting into the input's own backing array —
+// zero allocations. Only for callers that own items outright (a pooled
+// search scratch); the dropped tail is left as-is past the returned length.
+func FilterInPlace[T any](p *Policy, u User, items []T, pathOf func(T) []string) []T {
+	out := items[:0]
+	for _, it := range items {
+		if p.Allowed(u, pathOf(it)) {
+			out = append(out, it)
+		}
+	}
+	return out
+}

@@ -1,0 +1,338 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"classminer/internal/feature"
+	"classminer/internal/vidmodel"
+)
+
+// corpusEntry fabricates one entry shaped like corpus()'s cluster pi, so
+// inserted entries are drawn from the same distribution the index was fit
+// on.
+func corpusEntry(pi int, video string, shotIdx int, rng *rand.Rand) *Entry {
+	paths := [][]string{
+		{"medical education", "medicine", "medicine/presentation"},
+		{"medical education", "medicine", "medicine/dialog"},
+		{"medical education", "medicine", "medicine/clinical operation"},
+		{"medical education", "nursing", "nursing/dialog"},
+		{"health care", "health care/general"},
+		{"medical report", "medical report/general"},
+	}
+	pi = pi % len(paths)
+	c := make([]float64, feature.ColorBins)
+	base := (pi*37 + 11) % (feature.ColorBins - 8)
+	for j := 0; j < 6; j++ {
+		c[base+j] += 0.12 + rng.Float64()*0.04
+	}
+	c[rng.Intn(feature.ColorBins)] += 0.05
+	normalise(c)
+	tx := make([]float64, feature.TextureDims)
+	tx[pi%feature.TextureDims] = 0.8
+	tx[(pi+3)%feature.TextureDims] = 0.2
+	return &Entry{
+		VideoName: video,
+		Shot:      &vidmodel.Shot{Index: shotIdx, Start: shotIdx * 30, End: (shotIdx + 1) * 30, Color: c, Texture: tx},
+		Path:      paths[pi],
+	}
+}
+
+func mustInsert(t testing.TB, ix *Index, e *Entry) *Index {
+	t.Helper()
+	nix, err := ix.Insert(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nix
+}
+
+// TestInsertMakesEntrySearchable: an inserted entry is the top self-query
+// hit immediately, with no rebuild.
+func TestInsertMakesEntrySearchable(t *testing.T) {
+	entries := corpus(120, 1)
+	ix, err := Build(entries, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var added []*Entry
+	for i := 0; i < 18; i++ {
+		e := corpusEntry(i, fmt.Sprintf("new-%d", i%6), 1000+i, rng)
+		added = append(added, e)
+		ix = mustInsert(t, ix, e)
+	}
+	if got := ix.Size(); got != 120+18 {
+		t.Fatalf("Size = %d, want %d", got, 138)
+	}
+	for _, e := range added {
+		res, _ := ix.Search(e.Shot.Feature(), 1)
+		if len(res) == 0 || res[0].Entry != e {
+			t.Fatalf("inserted entry %s/%d not top self-query hit", e.VideoName, e.Shot.Index)
+		}
+	}
+	if s := ix.Staleness(); s <= 0 || s > 0.2 {
+		t.Fatalf("Staleness = %v, want (0, 0.2]", s)
+	}
+}
+
+// TestRemoveMasksEntries: removed videos stop appearing in results while
+// the previous index of the chain still serves them.
+func TestRemoveMasksEntries(t *testing.T) {
+	entries := corpus(120, 2)
+	ix, err := Build(entries, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := "video-0"
+	var q []float64
+	for _, e := range entries {
+		if e.VideoName == victim {
+			q = e.Shot.Feature()
+			break
+		}
+	}
+	nix, n := ix.Remove(victim)
+	if n == 0 {
+		t.Fatal("Remove reported no entries masked")
+	}
+	if nix.Size() != ix.Size()-n {
+		t.Fatalf("Size after remove = %d, want %d", nix.Size(), ix.Size()-n)
+	}
+	// Old index still ranks the victim; the new one never does.
+	res, _ := ix.Search(q, 10)
+	found := false
+	for _, h := range res {
+		if h.Entry.VideoName == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("old index lost the victim (copy-on-write broken)")
+	}
+	res, _ = nix.Search(q, 10)
+	for _, h := range res {
+		if h.Entry.VideoName == victim {
+			t.Fatalf("removed video %q still ranked", victim)
+		}
+	}
+	// Removing again is a no-op returning the same index.
+	again, n2 := nix.Remove(victim)
+	if n2 != 0 || again != nix {
+		t.Fatalf("second Remove = (%p, %d), want identity no-op", again, n2)
+	}
+}
+
+// TestInsertRejectsUnknownPath: a path with no leaf in the built tree needs
+// a full rebuild and must say so.
+func TestInsertRejectsUnknownPath(t *testing.T) {
+	ix, err := Build(corpus(60, 3), Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	e := corpusEntry(0, "new", 999, rng)
+	e.Path = []string{"medical education", "dentistry", "dentistry/dialog"}
+	if _, err := ix.Insert(e); !errors.Is(err, ErrNoLeaf) {
+		t.Fatalf("Insert with unknown path = %v, want ErrNoLeaf", err)
+	}
+	// A path stopping at a non-leaf is equally unroutable.
+	e.Path = []string{"medical education", "medicine"}
+	if _, err := ix.Insert(e); !errors.Is(err, ErrNoLeaf) {
+		t.Fatalf("Insert with non-leaf path = %v, want ErrNoLeaf", err)
+	}
+	// Dimension mismatches are refused before any mutation.
+	bad := corpusEntry(0, "bad", 1000, rng)
+	bad.Shot.Texture = bad.Shot.Texture[:feature.TextureDims-1]
+	if _, err := ix.Insert(bad); err == nil {
+		t.Fatal("Insert with wrong dimensionality succeeded")
+	}
+}
+
+// TestIncrementalMatchesRebuild is the golden equivalence check: a chain of
+// inserts and removes answers queries with the same hit sets as an index
+// rebuilt from scratch over the same final entry list. Distances in the
+// incremental index come from the *old* fit's reduced spaces, so only hit
+// identity (which is what a user sees) is compared, on well-separated
+// queries.
+func TestIncrementalMatchesRebuild(t *testing.T) {
+	base := corpus(180, 4)
+	ix, err := Build(base, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	live := append([]*Entry(nil), base...)
+	for i := 0; i < 24; i++ {
+		e := corpusEntry(i, fmt.Sprintf("delta-%d", i%6), 2000+i, rng)
+		live = append(live, e)
+		ix = mustInsert(t, ix, e)
+	}
+	victim := "video-3"
+	ix, _ = ix.Remove(victim)
+	kept := live[:0]
+	for _, e := range live {
+		if e.VideoName != victim {
+			kept = append(kept, e)
+		}
+	}
+	rebuilt, err := Build(kept, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The refit learns slightly different reduced spaces, which legitimately
+	// reorders near-ties deep in the ranking; what must hold is that the
+	// nearest answer (a self-query's own shot, distance zero in any space)
+	// is identical, and that the top-5 candidate *sets* overlap strongly.
+	// (The exact-equality golden test lives at the library level, over
+	// geometrically separated data — see TestIncrementalGoldenEquivalence.)
+	const queries = 40
+	top1 := 0
+	overlap, possible := 0, 0
+	key := func(r Result) string { return fmt.Sprintf("%s/%d", r.Entry.VideoName, r.Entry.Shot.Index) }
+	for qi := 0; qi < queries; qi++ {
+		q := kept[(qi*17)%len(kept)].Shot.Feature()
+		a, _ := ix.Search(q, 5)
+		b, _ := rebuilt.Search(q, 5)
+		if len(a) > 0 && len(b) > 0 && key(a[0]) == key(b[0]) {
+			top1++
+		}
+		in := map[string]bool{}
+		for _, r := range a {
+			in[key(r)] = true
+		}
+		for _, r := range b {
+			if in[key(r)] {
+				overlap++
+			}
+		}
+		possible += len(b)
+	}
+	if top1 < queries*9/10 {
+		t.Fatalf("top-1 agreement %d/%d, want >= %d", top1, queries, queries*9/10)
+	}
+	if overlap*10 < possible*6 {
+		t.Fatalf("top-5 set overlap %d/%d, want >= 60%%", overlap, possible)
+	}
+	for _, h := range mustSearchAll(t, ix, kept) {
+		if h.Entry.VideoName == victim {
+			t.Fatalf("victim %q resurfaced", victim)
+		}
+	}
+}
+
+func mustSearchAll(t *testing.T, ix *Index, kept []*Entry) []Result {
+	t.Helper()
+	var out []Result
+	for i := 0; i < 10; i++ {
+		res, _ := ix.Search(kept[i*7%len(kept)].Shot.Feature(), 8)
+		out = append(out, res...)
+	}
+	return out
+}
+
+// TestInsertConcurrentWithSearch: searches against every index of a
+// copy-on-write chain race with the single writer extending it. Run with
+// -race; the invariant is that a snapshot always answers from its own
+// entry set.
+func TestInsertConcurrentWithSearch(t *testing.T) {
+	entries := corpus(120, 5)
+	ix, err := Build(entries, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := entries[0].Shot.Feature()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(snapshot *Index) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, _ := snapshot.Search(q, 5)
+				if len(res) == 0 {
+					t.Error("snapshot search returned nothing")
+					return
+				}
+			}
+		}(ix)
+	}
+	rng := rand.New(rand.NewSource(5))
+	cur := ix
+	for i := 0; i < 64; i++ {
+		cur = mustInsert(t, cur, corpusEntry(i, fmt.Sprintf("w-%d", i%6), 3000+i, rng))
+		if i%16 == 0 {
+			cur, _ = cur.Remove(fmt.Sprintf("w-%d", (i/16)%6))
+		}
+		res, _ := cur.Search(q, 5)
+		if len(res) == 0 {
+			t.Fatal("chained index search returned nothing")
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSearchIntoZeroAllocAfterInsert: once the shared scratch pool has
+// warmed up to the post-insert sizes, SearchInto allocates nothing.
+func TestSearchIntoZeroAllocAfterInsert(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are not meaningful under the race detector")
+	}
+	forceParallel(t)
+	entries := corpus(240, 6)
+	ix, err := Build(entries, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 80; i++ {
+		ix = mustInsert(t, ix, corpusEntry(i, fmt.Sprintf("z-%d", i%6), 4000+i, rng))
+	}
+	q := entries[3].Shot.Feature()
+	dst := make([]Result, 0, 16)
+	for i := 0; i < 8; i++ { // warm the pool to the grown bitset size
+		dst, _ = ix.SearchInto(dst[:0], q, 10)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		dst, _ = ix.SearchInto(dst[:0], q, 10)
+	})
+	if avg != 0 {
+		t.Fatalf("SearchInto after inserts allocates %.1f per run, want 0", avg)
+	}
+}
+
+// benchmarkInsert measures one Insert against an index of n entries; the
+// acceptance bar is that the cost does not scale with n.
+func benchmarkInsert(b *testing.B, n int) {
+	entries := corpus(n, 9)
+	ix, err := Build(entries, Options{Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	fresh := make([]*Entry, b.N)
+	for i := range fresh {
+		fresh[i] = corpusEntry(i, fmt.Sprintf("b-%d", i%6), n+i, rng)
+	}
+	b.ResetTimer()
+	cur := ix
+	for i := 0; i < b.N; i++ {
+		nix, err := cur.Insert(fresh[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		cur = nix
+	}
+}
+
+func BenchmarkIndexInsert1k(b *testing.B)  { benchmarkInsert(b, 1_000) }
+func BenchmarkIndexInsert10k(b *testing.B) { benchmarkInsert(b, 10_000) }

@@ -82,16 +82,36 @@ type Result struct {
 	Dist  float64
 }
 
-// Index is the built hierarchical index.
+// Index is the built hierarchical index. A built Index is immutable with
+// respect to searches; Insert and Remove extend it copy-on-write (see
+// incremental.go), returning a new Index that shares all unchanged
+// structure with its predecessor.
 type Index struct {
 	opts  Options
 	root  *node
 	all   []*Entry
-	feats *mat.Dense // row i = full feature vector of entry i
+	feats *mat.Dense // row i = full feature vector of entry i (build-time rows)
+
+	// Incremental overlay state. baseRows is feats.R at the last full fit;
+	// entries inserted since then keep their full features in extraFeats
+	// (row id-baseRows, feats.C wide) and are counted by inserted. removed
+	// is a bitset over global entry IDs masking deleted entries (nil when
+	// none); removedCount tallies its set bits. The overlay is bounded in
+	// practice by the caller's staleness budget — once
+	// (inserted+removed)/baseRows exceeds it, a full refit is warranted.
+	baseRows     int
+	extraFeats   []float64
+	inserted     int
+	removed      []uint64
+	removedCount int
 
 	maxDim    int // widest reducer output across nodes (scratch sizing)
 	seenWords int // words in the per-search seen-bitset
-	scratch   sync.Pool
+	// scratch is shared by every index in a copy-on-write chain (clones
+	// copy the pointer), so pooled buffers survive Insert/Remove and
+	// steady-state searches stay allocation-free; SearchInto grows a pooled
+	// bitset when inserts have outgrown it.
+	scratch *sync.Pool
 }
 
 type node struct {
@@ -108,6 +128,34 @@ type node struct {
 	proj *mat.Dense
 	hash map[cellKey][]int32
 	cell []float64 // per-dim hash cell width
+	// Incremental overlay: entries inserted after the fit. extraIDs extends
+	// ids (leaf row len(ids)+i refers to extraIDs[i]) and extraProj holds
+	// their reduced features (reducer.Dim() wide rows). Extras are not
+	// hashed — they are unconditionally candidates at this leaf, which is
+	// exact (never misses) and stays cheap because the staleness budget
+	// bounds how many exist before a refit folds them in.
+	extraIDs  []int32
+	extraProj []float64
+}
+
+// rows is the leaf's total candidate row count, base plus overlay.
+func (n *node) rows() int { return len(n.ids) + len(n.extraIDs) }
+
+// idAt maps a leaf row to its global entry ID across both regions.
+func (n *node) idAt(row int32) int32 {
+	if int(row) < len(n.ids) {
+		return n.ids[row]
+	}
+	return n.extraIDs[int(row)-len(n.ids)]
+}
+
+// projRow returns the leaf-space reduced feature of a leaf row.
+func (n *node) projRow(row int32, dim int) []float64 {
+	if int(row) < len(n.ids) {
+		return n.proj.Row(int(row))
+	}
+	r := int(row) - len(n.ids)
+	return n.extraProj[r*dim : (r+1)*dim]
 }
 
 // cellKey is a fixed-width quantised signature of the leading reduced
@@ -182,9 +230,13 @@ func BuildMatrix(entries []*Entry, feats *mat.Dense, opts Options) (*Index, erro
 	if err := ix.fit(ix.root, idsOf, rng); err != nil {
 		return nil, err
 	}
+	ix.baseRows = feats.R
 	ix.maxDim = maxReducerDim(ix.root)
 	ix.seenWords = (len(entries) + 63) / 64
-	ix.scratch.New = func() any { return ix.newScratch() }
+	pool := &sync.Pool{}
+	seenWords, maxDim := ix.seenWords, ix.maxDim
+	pool.New = func() any { return newScratch(maxDim, seenWords) }
+	ix.scratch = pool
 	return ix, nil
 }
 
@@ -341,19 +393,25 @@ type scoredChild struct {
 	dist  float64
 }
 
-func (ix *Index) newScratch() *searchScratch {
+func newScratch(maxDim, seenWords int) *searchScratch {
 	return &searchScratch{
-		qproj: make([]float64, ix.maxDim),
-		eproj: make([]float64, ix.maxDim),
-		seen:  make([]uint64, ix.seenWords),
+		qproj: make([]float64, maxDim),
+		eproj: make([]float64, maxDim),
+		seen:  make([]uint64, seenWords),
 	}
 }
 
 // addCand records a candidate once; the seen-bitset dedupes across leaves
-// and hash cells.
-func (sc *searchScratch) addCand(leaf *node, row int32) {
-	id := leaf.ids[row]
+// and hash cells. removed, when non-nil, is the index's deletion mask —
+// masked entries never become candidates.
+func (sc *searchScratch) addCand(leaf *node, row int32, removed []uint64) {
+	id := leaf.idAt(row)
 	w, b := id>>6, uint(id&63)
+	// The mask was sized when the last Remove ran; entries inserted since
+	// lie past its end and are never masked.
+	if int(w) < len(removed) && removed[w]&(1<<b) != 0 {
+		return
+	}
 	if sc.seen[w]&(1<<b) != 0 {
 		return
 	}
@@ -384,10 +442,17 @@ func (ix *Index) SearchInto(dst []Result, query []float64, k int) ([]Result, Sta
 		k = 1
 	}
 	sc := ix.scratch.Get().(*searchScratch)
+	if len(sc.seen) < ix.seenWords {
+		// The pool is shared along the copy-on-write chain; inserts since
+		// this scratch was created may have outgrown its bitset.
+		sc.seen = make([]uint64, ix.seenWords)
+	}
 	ix.descend(ix.root, query, sc, &stats)
-	// leafCandidates guarantees at least one candidate per leaf (its
-	// hash-exhausted path falls back to the whole leaf, and leaves are
-	// never empty), so sc.cands is non-empty here.
+	// leafCandidates falls back to the whole leaf when the hash is
+	// exhausted, so sc.cands misses a live entry of a visited leaf only
+	// when k is already satisfied nearer. It can be empty outright when
+	// removals masked every entry of every visited leaf — rank then
+	// returns no hits.
 	for _, leaf := range sc.leaves {
 		ix.leafCandidates(leaf, query, k, sc)
 	}
@@ -478,8 +543,14 @@ func (ix *Index) descend(n *node, query []float64, sc *searchScratch, stats *Sta
 
 // leafCandidates looks up the query's hash cell and expands outward shell
 // by shell until at least k candidates are found (or the ring is
-// exhausted, in which case the whole leaf is the candidate set).
+// exhausted, in which case the whole leaf is the candidate set). Entries
+// inserted after the fit are not hashed, so they join the candidate set
+// unconditionally first — an inserted entry must be findable immediately,
+// and the shell early-exits below must not preempt it.
 func (ix *Index) leafCandidates(leaf *node, query []float64, k int, sc *searchScratch) {
+	for r := len(leaf.ids); r < leaf.rows(); r++ {
+		sc.addCand(leaf, int32(r), ix.removed)
+	}
 	p := leaf.reducer.ProjectInto(sc.qproj[:leaf.reducer.Dim()], query)
 	h := len(leaf.cell)
 	var base [maxHashDims]int
@@ -503,7 +574,7 @@ func (ix *Index) leafCandidates(leaf *node, query []float64, k int, sc *searchSc
 		for radius := 0; radius <= 2; radius++ {
 			if !done {
 				for _, row := range sc.ring[radius] {
-					sc.addCand(leaf, row)
+					sc.addCand(leaf, row, ix.removed)
 				}
 				if len(sc.cands)-start >= k {
 					done = true
@@ -525,8 +596,8 @@ func (ix *Index) leafCandidates(leaf *node, query []float64, k int, sc *searchSc
 	// Hash exhausted: fall back to the whole leaf (still only the relevant
 	// scene node, never the full database). Rows already collected above
 	// are deduped by the seen-bitset.
-	for r := range leaf.ids {
-		sc.addCand(leaf, int32(r))
+	for r := 0; r < len(leaf.ids); r++ {
+		sc.addCand(leaf, int32(r), ix.removed)
 	}
 }
 
@@ -568,7 +639,7 @@ func (ix *Index) collectShell(leaf *node, base []int, r int, sc *searchScratch) 
 			key[d] = int32(b)
 		}
 		for _, row := range leaf.hash[key] {
-			sc.addCand(leaf, row)
+			sc.addCand(leaf, row, ix.removed)
 		}
 		return
 	}
@@ -589,17 +660,17 @@ func (ix *Index) collectShell(leaf *node, base []int, r int, sc *searchScratch) 
 			for o := -r; o <= r; o++ {
 				key[last] = int32(base[last] + o)
 				for _, row := range leaf.hash[key] {
-					sc.addCand(leaf, row)
+					sc.addCand(leaf, row, ix.removed)
 				}
 			}
 		} else {
 			key[last] = int32(base[last] - r)
 			for _, row := range leaf.hash[key] {
-				sc.addCand(leaf, row)
+				sc.addCand(leaf, row, ix.removed)
 			}
 			key[last] = int32(base[last] + r)
 			for _, row := range leaf.hash[key] {
-				sc.addCand(leaf, row)
+				sc.addCand(leaf, row, ix.removed)
 			}
 		}
 		d := last - 1
@@ -630,9 +701,9 @@ func (ix *Index) rank(dst []Result, primary *node, query []float64, k int, sc *s
 		stats.FloatOps += dim
 		var ep []float64
 		if c.leaf == primary {
-			ep = primary.proj.Row(int(c.row))
+			ep = primary.projRow(c.row, dim)
 		} else {
-			ep = primary.reducer.ProjectInto(sc.eproj[:dim], ix.feats.Row(int(c.id)))
+			ep = primary.reducer.ProjectInto(sc.eproj[:dim], ix.featRow(c.id))
 		}
 		if len(heap) < k {
 			heap = append(heap, heapItem{sq: mat.SqDistBounded(p, ep, math.Inf(1)), id: c.id})
@@ -808,8 +879,19 @@ func flatScanTopK(entries []*Entry, off int, query []float64, k int) []heapItem 
 	return heap
 }
 
-// Size returns the number of indexed entries.
-func (ix *Index) Size() int { return len(ix.all) }
+// featRow returns the full feature vector of a global entry ID, whichever
+// region it lives in.
+func (ix *Index) featRow(id int32) []float64 {
+	if int(id) < ix.baseRows {
+		return ix.feats.Row(int(id))
+	}
+	r := int(id) - ix.baseRows
+	return ix.extraFeats[r*ix.feats.C : (r+1)*ix.feats.C]
+}
+
+// Size returns the number of live indexed entries (inserted entries count,
+// removed entries do not).
+func (ix *Index) Size() int { return len(ix.all) - ix.removedCount }
 
 // Leaves returns the leaf concept names, in deterministic order.
 func (ix *Index) Leaves() []string {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"classminer"
@@ -50,6 +51,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"library":   s.lib.Stats(),
 		"cache":     s.cache.Stats(),
 		"ingest":    s.pool.Stats(s.opts.Workers),
+		"index":     s.rebuilder.Stats(),
 		"uptimeSec": time.Since(s.started).Seconds(),
 		"requests":  s.requests.Load(),
 	})
@@ -185,9 +187,14 @@ func frameSec(frame int, fps float64) float64 {
 // subcluster — you cannot delete what policy hides from you
 // (DeleteVideoAs runs that check atomically with the removal, so a
 // concurrent replacement cannot slip the video behind a policy wall
-// between check and delete). The index is rebuilt copy-on-write before
-// responding so searches stop ranking the deleted shots (when the delete
-// emptied the library, the index is simply dropped).
+// between check and delete). In the common case the serving index masks
+// the deleted shots incrementally — searches stop ranking them before this
+// responds at no O(library) cost — and the full refit is left to the
+// coalesced background rebuilder. Only when the index was *already* stale
+// at delete time (a mutation the incremental path could not absorb) does
+// the handler rebuild synchronously, exactly like the old per-delete path:
+// that is the one case where responding first would leave the deleted
+// shots searchable for the debounce window.
 func (s *Server) handleDeleteVideo(w http.ResponseWriter, r *http.Request, name string) {
 	if !s.requireClearance(w, r, s.opts.IngestClearance) {
 		return
@@ -203,19 +210,18 @@ func (s *Server) handleDeleteVideo(w http.ResponseWriter, r *http.Request, name 
 		}
 		return
 	}
-	rebuilt := false
-	if s.lib.Size() > 0 {
-		if err := s.lib.BuildIndex(); err != nil {
+	if s.lib.IndexStale() {
+		if err := s.rebuilder.EnsureLive(); err != nil {
 			// The delete is committed; only the rebuild failed. Report it
 			// rather than failing the request — the stale index self-heals
-			// on the next successful rebuild.
+			// on the rebuilder's next successful pass.
 			s.opts.Logf("rebuild after deleting %q: %v", name, err)
-		} else {
-			rebuilt = true
 		}
+	} else {
+		s.rebuilder.Kick()
 	}
 	s.opts.Logf("deleted video %q", name)
-	writeJSON(w, http.StatusOK, map[string]any{"deleted": name, "indexRebuilt": rebuilt})
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": name, "indexLive": !s.lib.IndexStale()})
 }
 
 // --- POST /v1/search -------------------------------------------------------
@@ -308,6 +314,15 @@ func buildSearchResponse(hits []classminer.SearchHit, stats classminer.SearchSta
 	return resp
 }
 
+// hitsPool recycles the ranked-hit scratch between uncached searches: the
+// library's SearchInto fills it and buildSearchResponse copies what the
+// response (and the cache) retain, so the scratch itself never escapes.
+// Capacity covers the clamped k, so steady state never regrows it.
+var hitsPool = sync.Pool{New: func() any {
+	s := make([]classminer.SearchHit, 0, 128)
+	return &s
+}}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req searchRequest
 	if !decodeBody(w, r, &req) {
@@ -325,12 +340,16 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
-	hits, stats, err := s.lib.Search(u, query, k)
+	scratch := hitsPool.Get().(*[]classminer.SearchHit)
+	hits, stats, err := s.lib.SearchInto((*scratch)[:0], u, query, k)
 	if err != nil {
+		hitsPool.Put(scratch)
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
 	resp := buildSearchResponse(hits, stats, k)
+	*scratch = hits[:0]
+	hitsPool.Put(scratch)
 	s.cache.Put(key, query, resp)
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -581,8 +600,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 }
 
 // runJob executes one ingestion on a pool worker: mine (or decode) the
-// video, register it, and rebuild the index copy-on-write so concurrent
-// queries never notice.
+// video and register it. Registration inserts the new shots into the
+// serving index incrementally, so the video is searchable the moment the
+// job completes; the O(library) refit is left to the coalesced background
+// rebuilder and only the cold-start case (no index yet, or a mutation the
+// incremental path could not absorb) builds synchronously — single-flight,
+// so a burst of first ingests shares one build.
 func (s *Server) runJob(j *Job) {
 	err := func() error {
 		if j.req.Saved != nil {
@@ -621,7 +644,11 @@ func (s *Server) runJob(j *Job) {
 		return err
 	}()
 	if err == nil {
-		err = s.lib.BuildIndex()
+		if s.lib.IndexStale() {
+			err = s.rebuilder.EnsureLive()
+		} else {
+			s.rebuilder.Kick()
+		}
 	}
 	if err != nil {
 		s.opts.Logf("job %s: failed: %v", j.ID, err)

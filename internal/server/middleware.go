@@ -1,11 +1,14 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"runtime/debug"
 	"strings"
+	"sync"
 	"time"
 
 	"classminer/internal/access"
@@ -113,13 +116,45 @@ func (s *Server) withRecovery(next http.Handler) http.Handler {
 	})
 }
 
-// writeJSON writes v with the given status.
+// jsonScratch pairs a reusable buffer with an encoder bound to it, so the
+// response hot path allocates neither per request.
+type jsonScratch struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonPool = sync.Pool{New: func() any {
+	s := &jsonScratch{}
+	s.enc = json.NewEncoder(&s.buf)
+	s.enc.SetIndent("", "  ")
+	return s
+}}
+
+// jsonPoolMaxBuf caps what goes back in the pool: one outsized response
+// (a big batch, a long listing) must not pin its buffer forever.
+const jsonPoolMaxBuf = 1 << 20
+
+// writeJSON writes v with the given status, encoding through a pooled
+// buffer so the body is one Write and the encoder state is reused across
+// requests.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	s := jsonPool.Get().(*jsonScratch)
+	s.buf.Reset()
+	if err := s.enc.Encode(v); err != nil {
+		// v came from our own handlers; an encode failure is a programming
+		// error. Fall back to a plain 500 rather than a half-written body.
+		jsonPool.Put(s)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\n  \"error\": %q\n}\n", "encoding response: "+err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(s.buf.Bytes())
+	if s.buf.Cap() <= jsonPoolMaxBuf {
+		jsonPool.Put(s)
+	}
 }
 
 // writeError writes the uniform error envelope.

@@ -1,0 +1,149 @@
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"classminer"
+)
+
+// rebuilder coalesces index rebuilds. The old write path refit the whole
+// hierarchical index synchronously after every ingest job and every DELETE
+// — O(library) work per mutation. With incremental index maintenance the
+// library absorbs mutations into the serving index immediately, so a full
+// refit is only warranted when the incremental overlay outgrows the
+// staleness budget (or a mutation the overlay cannot absorb lands, e.g. a
+// brand-new concept). The rebuilder is the single place that decides:
+// mutations Kick it, kicks are debounced so a burst of N ingests costs at
+// most one refit, and the refit itself is single-flight — concurrent
+// requesters share one BuildIndex instead of queueing N of them.
+type rebuilder struct {
+	lib      *classminer.Library
+	budget   float64 // staleness fraction that warrants a refit
+	debounce time.Duration
+	logf     func(format string, args ...any)
+
+	kick      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	// buildMu makes rebuilds single-flight: whoever holds it re-checks the
+	// need under the latest state, so callers queued behind a finished
+	// rebuild return without building again.
+	buildMu  sync.Mutex
+	rebuilds atomic.Int64
+}
+
+func newRebuilder(lib *classminer.Library, budget float64, debounce time.Duration, logf func(string, ...any)) *rebuilder {
+	r := &rebuilder{
+		lib:      lib,
+		budget:   budget,
+		debounce: debounce,
+		logf:     logf,
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	r.wg.Add(1)
+	go r.loop()
+	return r
+}
+
+// Kick notes that a mutation happened. The background loop debounces kicks
+// and refits only when the staleness budget says so; a kick is never lost
+// (the channel holds one pending nudge) and never blocks the mutator.
+func (r *rebuilder) Kick() {
+	select {
+	case r.kick <- struct{}{}:
+	default:
+	}
+}
+
+// EnsureLive brings the index up to date synchronously when it is stale —
+// the cold-start path (first ingest into an empty library) and the fallback
+// for mutations the incremental overlay could not absorb. Concurrent
+// callers coalesce: they all wait on one BuildIndex and the rest find the
+// index fresh when they get their turn.
+func (r *rebuilder) EnsureLive() error {
+	return r.rebuildIf(func() bool { return r.lib.Size() > 0 && r.lib.IndexStale() })
+}
+
+// rebuildIf runs one single-flight BuildIndex when need() still holds by
+// the time the caller gets the build slot. A rebuild discarded by the
+// library (a delete raced the fit) leaves need() true, so the loop retries
+// until the fit sticks or the need disappears.
+func (r *rebuilder) rebuildIf(need func() bool) error {
+	r.buildMu.Lock()
+	defer r.buildMu.Unlock()
+	for attempt := 0; need(); attempt++ {
+		if attempt == 8 {
+			// Mutations are landing faster than fits complete; the index is
+			// still serving incrementally, so yield rather than spin here.
+			return nil
+		}
+		start := time.Now()
+		if err := r.lib.BuildIndex(); err != nil {
+			return err
+		}
+		r.rebuilds.Add(1)
+		r.logf("index rebuilt in %s (staleness now %.3f)", time.Since(start).Round(time.Millisecond), r.lib.IndexStaleness())
+	}
+	return nil
+}
+
+// loop services kicks: wait out the debounce window (absorbing further
+// kicks — that is the batching), then refit only if the budget is blown.
+func (r *rebuilder) loop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-r.kick:
+		}
+		t := time.NewTimer(r.debounce)
+	drain:
+		for {
+			select {
+			case <-r.done:
+				t.Stop()
+				return
+			case <-r.kick:
+				// Coalesced into the same window; the timer keeps its
+				// original deadline so a steady mutation stream cannot
+				// starve the rebuild forever.
+			case <-t.C:
+				break drain
+			}
+		}
+		err := r.rebuildIf(func() bool { return r.lib.RebuildNeeded(r.budget) })
+		if err != nil {
+			r.logf("background index rebuild: %v", err)
+		}
+	}
+}
+
+// Close stops the background loop and waits for it (an in-flight rebuild
+// finishes; the library swap it does is harmless after shutdown). Like
+// ingestPool.Close it is idempotent — the daemon closes the server both
+// explicitly before its shutdown checkpoint and via defer.
+func (r *rebuilder) Close() {
+	r.closeOnce.Do(func() { close(r.done) })
+	r.wg.Wait()
+}
+
+// stats is the /v1/stats slice of the rebuilder.
+type rebuilderStats struct {
+	Rebuilds  int64   `json:"rebuilds"`
+	Budget    float64 `json:"budget"`
+	Staleness float64 `json:"staleness"`
+}
+
+func (r *rebuilder) Stats() rebuilderStats {
+	return rebuilderStats{
+		Rebuilds:  r.rebuilds.Load(),
+		Budget:    r.budget,
+		Staleness: r.lib.IndexStaleness(),
+	}
+}

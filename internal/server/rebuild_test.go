@@ -1,0 +1,93 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"classminer"
+)
+
+// TestRebuilderCoalescesIngestBurst pins the write-path contract: a burst
+// of ingests costs at most a couple of full index rebuilds (the cold-start
+// single-flight build plus, at most, one budget-driven background refit),
+// not one per job — while every ingested video is searchable the moment
+// its job reports done.
+func TestRebuilderCoalescesIngestBurst(t *testing.T) {
+	a, err := classminer.NewAnalyzer(classminer.Options{SkipEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := classminer.NewLibrary(a)
+	s := New(lib, Options{
+		Tokens:          testTokens(),
+		Workers:         4,
+		QueueDepth:      32,
+		RebuildBudget:   0.5, // roomy: the burst should ride the overlay
+		RebuildDebounce: 50 * time.Millisecond,
+	})
+	t.Cleanup(s.Close)
+
+	const n = 12
+	for i := 0; i < n; i++ {
+		ingestAndWait(t, s, fmt.Sprintf("burst-%02d", i), int64(i))
+		// Done means searchable: query the video's own first shot.
+		req := map[string]any{"video": fmt.Sprintf("burst-%02d", i), "shot": 0, "k": 1}
+		var resp struct {
+			Hits []searchHit `json:"hits"`
+		}
+		if code := do(t, s, http.MethodPost, "/v1/search", "admin-tok", req, &resp); code != http.StatusOK {
+			t.Fatalf("search after job %d = %d", i, code)
+		}
+		if len(resp.Hits) == 0 || resp.Hits[0].Video != fmt.Sprintf("burst-%02d", i) {
+			t.Fatalf("video burst-%02d not searchable after its job finished: %+v", i, resp.Hits)
+		}
+	}
+	// Let any debounced background refit land before counting.
+	time.Sleep(300 * time.Millisecond)
+	rebuilds := s.rebuilder.rebuilds.Load()
+	if rebuilds > 3 {
+		t.Fatalf("burst of %d ingests cost %d rebuilds, want <= 3 (coalescing broken)", n, rebuilds)
+	}
+	if lib.IndexStale() {
+		t.Fatal("index stale after the burst settled")
+	}
+}
+
+// TestRebuilderBudgetTriggersRefit: once the incremental overlay outgrows
+// the staleness budget, the debounced background rebuilder refits without
+// any explicit BuildIndex call.
+func TestRebuilderBudgetTriggersRefit(t *testing.T) {
+	a, err := classminer.NewAnalyzer(classminer.Options{SkipEvents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := classminer.NewLibrary(a)
+	s := New(lib, Options{
+		Tokens:          testTokens(),
+		RebuildBudget:   0.2,
+		RebuildDebounce: 20 * time.Millisecond,
+	})
+	t.Cleanup(s.Close)
+
+	for i := 0; i < 4; i++ {
+		ingestAndWait(t, s, fmt.Sprintf("seed-%02d", i), int64(i))
+	}
+	base := s.rebuilder.rebuilds.Load()
+	// Blow well past 20% churn in one burst.
+	for i := 0; i < 4; i++ {
+		ingestAndWait(t, s, fmt.Sprintf("extra-%02d", i), int64(40+i))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for lib.IndexStaleness() > 0.2 || lib.IndexStale() {
+		if time.Now().After(deadline) {
+			t.Fatalf("staleness %v still above budget; rebuilds=%d (budget trigger never fired)",
+				lib.IndexStaleness(), s.rebuilder.rebuilds.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := s.rebuilder.rebuilds.Load(); got <= base {
+		t.Fatalf("rebuild count %d did not advance past %d", got, base)
+	}
+}

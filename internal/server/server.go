@@ -47,6 +47,15 @@ type Options struct {
 	// SnapshotPath is where POST /v1/admin/save checkpoints the library
 	// ("" disables the endpoint).
 	SnapshotPath string
+	// RebuildBudget is the index staleness fraction (entries inserted or
+	// removed since the last full fit, relative to that fit) that warrants
+	// a background refit (default 0.25; mutations below it are served by
+	// the incremental overlay alone).
+	RebuildBudget float64
+	// RebuildDebounce is how long the background rebuilder waits after a
+	// mutation for further mutations to coalesce into the same refit
+	// (default 250ms).
+	RebuildDebounce time.Duration
 	// Logf receives one line per request and per job transition (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -64,6 +73,12 @@ func (o Options) withDefaults() Options {
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 8
 	}
+	if o.RebuildBudget <= 0 {
+		o.RebuildBudget = 0.25
+	}
+	if o.RebuildDebounce <= 0 {
+		o.RebuildDebounce = 250 * time.Millisecond
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -73,14 +88,15 @@ func (o Options) withDefaults() Options {
 // Server is the HTTP face of one Library. Create with New, serve with any
 // http.Server, and Close when done to drain the ingest pool.
 type Server struct {
-	lib      *classminer.Library
-	opts     Options
-	cache    *searchCache
-	pool     *ingestPool
-	handler  http.Handler
-	started  time.Time
-	requests atomic.Int64
-	featDim  atomic.Int64 // cached shot-feature dimensionality (0 = unresolved)
+	lib       *classminer.Library
+	opts      Options
+	cache     *searchCache
+	pool      *ingestPool
+	rebuilder *rebuilder
+	handler   http.Handler
+	started   time.Time
+	requests  atomic.Int64
+	featDim   atomic.Int64 // cached shot-feature dimensionality (0 = unresolved)
 }
 
 // New builds a Server over lib and starts its ingest workers.
@@ -92,6 +108,7 @@ func New(lib *classminer.Library, opts Options) *Server {
 		cache:   newSearchCache(opts.CacheSize),
 		started: time.Now(),
 	}
+	s.rebuilder = newRebuilder(lib, opts.RebuildBudget, opts.RebuildDebounce, opts.Logf)
 	s.pool = newIngestPool(opts.Workers, opts.QueueDepth, s.runJob)
 	s.handler = s.withRecovery(s.withLogging(s.withAuth(http.HandlerFunc(s.route))))
 	return s
@@ -103,8 +120,12 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.handler.ServeHTTP(w, r)
 }
 
-// Close stops accepting ingest jobs and waits for running ones to finish.
-func (s *Server) Close() { s.pool.Close() }
+// Close stops accepting ingest jobs, waits for running ones to finish, and
+// stops the background rebuilder.
+func (s *Server) Close() {
+	s.pool.Close()
+	s.rebuilder.Close()
+}
 
 // route dispatches by hand: the declared module version predates pattern
 // ServeMux, and the API is small enough that explicit paths read better.

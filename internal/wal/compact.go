@@ -84,6 +84,14 @@ func (e *Engine) Compact() (CompactResult, error) {
 	}
 	start, end := e.segStart, e.activeIdx // sealed segments: [start, end)
 	activeLimit := e.activeSize
+	if e.opts.Sync == SyncAlways {
+		// Group commit means activeSize can run ahead of what is durable
+		// (frames staged but not yet fsynced — and clawed back wholesale if
+		// that fsync fails). Only durable records may serve as evidence for
+		// dropping fsynced sealed registrations; unsynced tombstones are
+		// simply invisible to this pass and reclaimed by the next one.
+		activeLimit = e.durableSize
+	}
 	activeFile := e.active
 	deadRecs0, deadBytes0 := e.deadRecords, e.deadBytes
 	e.mu.Unlock()
@@ -123,6 +131,7 @@ func (e *Engine) Compact() (CompactResult, error) {
 	}
 	sealed := make(map[uint64][]recMeta, end-start)
 	var active []recMeta
+	var rec Record // scratch, reused across every frame of the pass
 	for idx := start; idx <= end; idx++ {
 		limit := int64(-1)
 		if idx == end {
@@ -130,7 +139,7 @@ func (e *Engine) Compact() (CompactResult, error) {
 		}
 		err := e.scanSegment(idx, limit, func(ord int64, frame []byte) error {
 			m := recMeta{size: int64(len(frame)) + FrameOverhead}
-			if rec, derr := DecodeRecord(frame); derr == nil && rec.Key != "" {
+			if derr := DecodeRecordInto(&rec, frame); derr == nil && rec.Key != "" {
 				m.key = rec.Key
 				if rec.supersedes() {
 					pos := recPos{seg: idx, rec: ord}

@@ -106,36 +106,133 @@ type legacyProbe struct {
 // store.SavedLibraryEntry frames (no "type" member) decode as version-0
 // registrations whose Payload is the whole frame, so every pre-envelope
 // data directory replays exactly as it did before typed records existed.
+// The returned Payload may alias frame; callers that retain it past the
+// frame's lifetime must copy.
 func DecodeRecord(frame []byte) (Record, error) {
 	var rec Record
-	if err := json.Unmarshal(frame, &rec); err != nil {
-		return Record{}, fmt.Errorf("wal: decoding record envelope: %w", err)
+	if err := DecodeRecordInto(&rec, frame); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}
+
+// Byte shapes every frame this package ever wrote. Typed frames come from
+// EncodeRecord's json.Encoder over the Record struct, so field order and
+// spacing are fixed; legacy frames are json.Marshal of a
+// store.SavedLibraryEntry, whose first field is "subcluster"
+// (envelope_test.go pins both against the real encoders).
+var (
+	typedPrefix    = []byte(`{"type":"`)
+	typedVersion   = []byte(`","version":1,"key":"`)
+	typedPayload   = []byte(`","payload":`)
+	typedTombstone = []byte(`"}`)
+	legacyPrefix   = []byte(`{"subcluster":`)
+)
+
+// DecodeRecordInto is DecodeRecord writing into *rec — replay and
+// compaction loops reuse one scratch Record across millions of frames.
+//
+// Frames matching the exact byte shape EncodeRecord produces are parsed by
+// a sliver of hand-rolled scanning instead of a full json.Unmarshal: the
+// envelope head is a handful of fixed literals, and the payload is sliced
+// out untouched (no re-validation, no copy — the CRC frame already vouches
+// for integrity, and the consumer parses the payload next anyway). That
+// removes the second full parse of every record from the recovery path.
+// Anything irregular — an escaped key, foreign spacing — falls back to the
+// strict envelope unmarshal, and legacy frames take a single probe parse
+// for the key instead of the envelope-then-probe double parse.
+func DecodeRecordInto(rec *Record, frame []byte) error {
+	if fastDecodeTyped(rec, frame) {
+		return nil
+	}
+	if bytes.HasPrefix(frame, legacyPrefix) {
+		return decodeLegacy(rec, frame)
+	}
+	*rec = Record{}
+	if err := json.Unmarshal(frame, rec); err != nil {
+		return fmt.Errorf("wal: decoding record envelope: %w", err)
 	}
 	if rec.Type == "" {
-		// Legacy frame. The key probe is best-effort: a frame it cannot
-		// name still registers fine (classminer decodes the full payload);
-		// it is only invisible to compaction.
-		var p legacyProbe
-		if err := json.Unmarshal(frame, &p); err == nil {
-			rec.Key = p.Result.VideoName
-		}
-		return Record{Type: RecordRegister, Version: 0, Key: rec.Key, Payload: frame}, nil
+		return decodeLegacy(rec, frame)
 	}
 	switch rec.Type {
 	case RecordRegister, RecordTombstone, RecordReplace:
 	default:
-		return Record{}, fmt.Errorf("wal: unknown record type %q", rec.Type)
+		return fmt.Errorf("wal: unknown record type %q", rec.Type)
 	}
 	if rec.Version != recordVersion {
-		return Record{}, fmt.Errorf("wal: record version %d unsupported (want %d)", rec.Version, recordVersion)
+		return fmt.Errorf("wal: record version %d unsupported (want %d)", rec.Version, recordVersion)
 	}
 	if rec.Key == "" {
-		return Record{}, fmt.Errorf("wal: %s record has no key", rec.Type)
+		return fmt.Errorf("wal: %s record has no key", rec.Type)
 	}
 	if (rec.Type == RecordRegister || rec.Type == RecordReplace) && len(rec.Payload) == 0 {
-		return Record{}, fmt.Errorf("wal: %s record has no payload", rec.Type)
+		return fmt.Errorf("wal: %s record has no payload", rec.Type)
 	}
-	return rec, nil
+	return nil
+}
+
+// decodeLegacy fills *rec from a legacy bare frame. The key probe is
+// best-effort: a frame it cannot name still registers fine (classminer
+// decodes the full payload); it is only invisible to compaction.
+func decodeLegacy(rec *Record, frame []byte) error {
+	key := ""
+	var p legacyProbe
+	if err := json.Unmarshal(frame, &p); err == nil {
+		key = p.Result.VideoName
+	}
+	*rec = Record{Type: RecordRegister, Version: 0, Key: key, Payload: frame}
+	return nil
+}
+
+// fastDecodeTyped attempts the exact-shape parse of an EncodeRecord frame.
+// It reports false — leaving *rec unspecified — whenever the bytes deviate
+// from the canonical shape; the caller then takes the strict path.
+func fastDecodeTyped(rec *Record, frame []byte) bool {
+	if len(frame) < len(typedPrefix)+2 || frame[len(frame)-1] != '}' || !bytes.HasPrefix(frame, typedPrefix) {
+		return false
+	}
+	rest := frame[len(typedPrefix):]
+	var kind string
+	switch {
+	case bytes.HasPrefix(rest, []byte(RecordRegister)):
+		kind, rest = RecordRegister, rest[len(RecordRegister):]
+	case bytes.HasPrefix(rest, []byte(RecordTombstone)):
+		kind, rest = RecordTombstone, rest[len(RecordTombstone):]
+	case bytes.HasPrefix(rest, []byte(RecordReplace)):
+		kind, rest = RecordReplace, rest[len(RecordReplace):]
+	default:
+		return false
+	}
+	if !bytes.HasPrefix(rest, typedVersion) {
+		return false
+	}
+	rest = rest[len(typedVersion):]
+	q := bytes.IndexByte(rest, '"')
+	if q <= 0 {
+		return false // empty or unterminated key
+	}
+	key := rest[:q]
+	if bytes.IndexByte(key, '\\') >= 0 {
+		return false // escaped key: let encoding/json do the unescaping
+	}
+	rest = rest[q:]
+	if kind == RecordTombstone {
+		if !bytes.Equal(rest, typedTombstone) {
+			return false
+		}
+		*rec = Record{Type: kind, Version: recordVersion, Key: string(key)}
+		return true
+	}
+	if !bytes.HasPrefix(rest, typedPayload) {
+		return false
+	}
+	payload := rest[len(typedPayload) : len(rest)-1]
+	if len(payload) == 0 {
+		return false
+	}
+	*rec = Record{Type: kind, Version: recordVersion, Key: string(key), Payload: payload}
+	return true
 }
 
 // supersedes reports whether a record of this kind makes every earlier

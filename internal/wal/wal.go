@@ -123,6 +123,10 @@ type Stats struct {
 	Segments int `json:"segments"`
 	// Generation counts completed checkpoints.
 	Generation uint64 `json:"generation"`
+	// Syncs counts segment-data fsyncs since open. Under SyncAlways with
+	// concurrent appenders, Records/Syncs is the group-commit batching
+	// ratio — how many acknowledged records each disk flush amortised.
+	Syncs int64 `json:"syncs"`
 }
 
 // ErrClosed is returned by operations on a closed Engine.

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -638,4 +639,75 @@ func TestCrashBetweenSnapshotAndManifest(t *testing.T) {
 		t.Fatal("uncommitted snapshot became current")
 	}
 	mustEqual(t, collect(t, eng2), want)
+}
+
+// BenchmarkAppendSyncAlwaysSerial is the per-record fsync floor: one
+// appender, one flush per record.
+func BenchmarkAppendSyncAlwaysSerial(b *testing.B) {
+	e, err := Open(b.TempDir(), Options{Logf: func(string, ...any) {}, CheckpointBytes: -1, CheckpointRecords: -1, SegmentBytes: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendSyncAlwaysParallel measures the group-commit path with
+// concurrent appenders: staged frames share one leader fsync, so per-record
+// cost approaches fsync-latency divided by the batching ratio. Writer
+// counts beyond the ISSUE 5 target of 8 show how deeper pipelines amortise
+// the post-commit wake/stage bubble too.
+func BenchmarkAppendSyncAlwaysParallel(b *testing.B) {
+	for _, writers := range []int{8, 16} {
+		b.Run(fmt.Sprintf("writers=%d", writers), func(b *testing.B) {
+			benchmarkAppendParallel(b, writers)
+		})
+	}
+}
+
+func benchmarkAppendParallel(b *testing.B, writers int) {
+	e, err := Open(b.TempDir(), Options{Logf: func(string, ...any) {}, CheckpointBytes: -1, CheckpointRecords: -1, SegmentBytes: 1 << 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	payload := make([]byte, 1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	done := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		go func() {
+			var err error
+			for {
+				if int(next.Add(1)) > b.N {
+					break
+				}
+				if err = e.Append(payload); err != nil {
+					break
+				}
+			}
+			done <- err
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		if err := <-done; err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st := e.Stats(); st.Syncs > 0 {
+		b.ReportMetric(float64(st.Records)/float64(st.Syncs), "records/fsync")
+	}
 }
