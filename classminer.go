@@ -35,6 +35,7 @@ import (
 	"classminer/internal/core"
 	"classminer/internal/index"
 	"classminer/internal/mat"
+	"classminer/internal/metrics"
 	"classminer/internal/skim"
 	"classminer/internal/store"
 	"classminer/internal/vidmodel"
@@ -222,6 +223,55 @@ type Library struct {
 	// ones whose batched fsync failed) so a snapshot never strands a record
 	// the log was about to make durable — or resurrect one it clawed back.
 	pendingAck map[string]wal.Commit
+	// met holds the library's lifecycle instruments (see Instrument). The
+	// zero value is fully inert: every instrument is a nil pointer whose
+	// methods are no-ops, so un-instrumented libraries pay nothing.
+	met libMetrics
+}
+
+// libMetrics counts library lifecycle events for the /metrics exposition.
+type libMetrics struct {
+	registrations *metrics.Counter // fresh registrations installed
+	replacements  *metrics.Counter // existing registrations superseded
+	deletes       *metrics.Counter // videos unregistered
+	ixInserts     *metrics.Counter // shots absorbed into the serving index incrementally
+	ixRemoves     *metrics.Counter // shots masked out of the serving index incrementally
+}
+
+// Instrument registers the library's metrics on reg: lifecycle counters
+// (registrations, replacements, deletes), incremental index maintenance
+// counters, and size/staleness gauges sampled at scrape time. The first
+// call wins — a second registry gets the gauges (their callbacks read the
+// library directly) but the counters keep feeding the first, so one library
+// serves one authoritative set of series no matter how many servers wrap it.
+// Instruments are created outside l.mu: scrape-time gauge callbacks take
+// l.mu while the registry's lock is held, so registering under l.mu would
+// invert that order.
+func (l *Library) Instrument(reg *metrics.Registry) {
+	m := libMetrics{
+		registrations: reg.Counter("classminer_registrations_total",
+			"Videos registered (fresh names; replacements counted separately)."),
+		replacements: reg.Counter("classminer_replacements_total",
+			"Existing registrations superseded by re-ingest."),
+		deletes: reg.Counter("classminer_deletes_total",
+			"Videos unregistered."),
+		ixInserts: reg.Counter("classminer_index_incremental_inserts_total",
+			"Shots absorbed into the serving index without a full refit."),
+		ixRemoves: reg.Counter("classminer_index_incremental_removes_total",
+			"Shots masked out of the serving index without a full refit."),
+	}
+	reg.GaugeFunc("classminer_videos", "Videos currently registered.",
+		func() float64 { l.mu.RLock(); defer l.mu.RUnlock(); return float64(len(l.videos)) })
+	reg.GaugeFunc("classminer_shots", "Indexable shots currently registered.",
+		func() float64 { return float64(l.Size()) })
+	reg.GaugeFunc("classminer_index_staleness",
+		"Incremental-overlay fraction of the serving index (0 = freshly fit).",
+		func() float64 { return l.IndexStaleness() })
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.met.registrations == nil {
+		l.met = m
+	}
 }
 
 // NewLibrary creates an empty library using the Fig. 2 medical concept
@@ -342,6 +392,7 @@ func (l *Library) register(name string, res *Result, subcluster string) error {
 	}
 	if rec == nil || l.journal == nil {
 		l.installLocked(name, res, subcluster, newEntries, dim)
+		l.met.registrations.Inc()
 		l.mu.Unlock()
 		return nil
 	}
@@ -366,6 +417,7 @@ func (l *Library) register(name string, res *Result, subcluster string) error {
 	l.mu.Lock()
 	delete(l.pendingAck, name)
 	l.mu.Unlock()
+	l.met.registrations.Inc()
 	return nil
 }
 
@@ -443,6 +495,11 @@ func (l *Library) replace(name string, res *Result, subcluster string, check fun
 		l.setLogSizeLocked(name, int64(len(rec))+wal.FrameOverhead)
 	}
 	l.installLocked(name, res, subcluster, newEntries, dim)
+	if replacing {
+		l.met.replacements.Inc()
+	} else {
+		l.met.registrations.Inc()
+	}
 	return nil
 }
 
@@ -512,6 +569,7 @@ func (l *Library) installLocked(name string, res *Result, subcluster string, new
 	}
 	l.ix = ix
 	l.ixVer = l.entriesVer
+	l.met.ixInserts.Add(uint64(len(newEntries)))
 }
 
 // removeLocked unregisters name, if present, and compacts the entry list
@@ -543,6 +601,7 @@ func (l *Library) removeLocked(name string) bool {
 		}
 	}
 	wasCurrent := l.ix != nil && l.ixVer == l.entriesVer
+	removed := len(l.entries) - len(kept)
 	l.entries = kept
 	l.featData = data
 	empty := len(l.entries) == 0
@@ -575,6 +634,7 @@ func (l *Library) removeLocked(name string) bool {
 		nix, _ := l.ix.Remove(name)
 		l.ix = nix
 		l.ixVer = l.entriesVer
+		l.met.ixRemoves.Add(uint64(removed))
 	}
 	if n := l.logBytes[name]; n > 0 {
 		delete(l.logBytes, name)
@@ -692,6 +752,7 @@ func (l *Library) deleteVideo(name string, check func(*VideoEntry) error) error 
 		}
 	}
 	l.removeLocked(name)
+	l.met.deletes.Inc()
 	return nil
 }
 

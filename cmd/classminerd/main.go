@@ -52,6 +52,7 @@ import (
 
 	"classminer"
 	"classminer/internal/access"
+	"classminer/internal/metrics"
 	"classminer/internal/server"
 	"classminer/internal/store"
 	"classminer/internal/synth"
@@ -104,6 +105,8 @@ type config struct {
 	queue      int
 	cacheSize  int
 	skipEvents bool
+	metrics    bool
+	pprof      bool
 	tokens     map[string]access.User
 
 	// write-path index maintenance
@@ -135,6 +138,8 @@ func main() {
 	flag.IntVar(&cfg.queue, "queue", 8, "ingest queue depth")
 	flag.IntVar(&cfg.cacheSize, "cache", 256, "search cache entries (negative disables)")
 	flag.BoolVar(&cfg.skipEvents, "skip-events", false, "mine structure only (faster startup, no event queries on bootstrapped videos)")
+	flag.BoolVar(&cfg.metrics, "metrics", true, "serve Prometheus metrics on GET /metrics (token-gated like the API)")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/ to Administrator-clearance callers")
 	flag.Float64Var(&cfg.rebuildAfter, "rebuild-after", 0.25, "index staleness fraction (inserted+removed since the last full fit) that triggers a background rebuild")
 	flag.DurationVar(&cfg.rebuildDebounce, "rebuild-debounce", 250*time.Millisecond, "how long the rebuilder waits for further mutations to coalesce into one rebuild")
 	flag.StringVar(&cfg.fsync, "fsync", "always", "WAL fsync policy: always, interval or off")
@@ -177,7 +182,15 @@ func run(cfg config) error {
 		return err
 	}
 
-	lib, err := buildLibrary(logger, analyzer, cfg)
+	// One registry spans the process: the WAL engine registers its series at
+	// Recover, the server adds the HTTP/cache/library ones at New, and
+	// GET /metrics exposes them all.
+	var reg *metrics.Registry
+	if cfg.metrics {
+		reg = metrics.NewRegistry()
+	}
+
+	lib, err := buildLibrary(logger, analyzer, cfg, reg)
 	if err != nil {
 		return err
 	}
@@ -191,6 +204,9 @@ func run(cfg config) error {
 		SnapshotPath:    cfg.save,
 		RebuildBudget:   cfg.rebuildAfter,
 		RebuildDebounce: cfg.rebuildDebounce,
+		Metrics:         reg,
+		DisableMetrics:  !cfg.metrics,
+		EnablePprof:     cfg.pprof,
 		Logf:            logger.Printf,
 	}
 	if cfg.anon != "" && cfg.anon != "none" {
@@ -245,7 +261,7 @@ func run(cfg config) error {
 // directory (or start empty), import a legacy snapshot, mine bootstrap
 // corpus videos, and build the index. Every registration into a durable
 // library — imported, bootstrapped or later ingested — is journaled.
-func buildLibrary(logger *log.Logger, analyzer *classminer.Analyzer, cfg config) (*classminer.Library, error) {
+func buildLibrary(logger *log.Logger, analyzer *classminer.Analyzer, cfg config, reg *metrics.Registry) (*classminer.Library, error) {
 	var lib *classminer.Library
 	if cfg.dataDir != "" {
 		wopts, err := syncPolicy(cfg.fsync)
@@ -257,6 +273,7 @@ func buildLibrary(logger *log.Logger, analyzer *classminer.Analyzer, cfg config)
 		wopts.CheckpointBytes = cfg.ckptBytes
 		wopts.CheckpointRecords = cfg.ckptRecords
 		wopts.CompactBytes = cfg.compactBytes
+		wopts.Metrics = reg
 		wopts.Logf = logger.Printf
 		lib, err = classminer.Recover(cfg.dataDir, analyzer, wopts)
 		if err != nil {

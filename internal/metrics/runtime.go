@@ -1,0 +1,53 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsCache amortises runtime.ReadMemStats across the gauge funcs of one
+// scrape (and across rapid scrapes): ReadMemStats stops the world, so each
+// of the ~8 Go-runtime gauges must not pay for its own call.
+type memStatsCache struct {
+	mu  sync.Mutex
+	ttl time.Duration
+	at  time.Time
+	ms  runtime.MemStats
+}
+
+// read samples fn against a MemStats no older than ttl.
+func (c *memStatsCache) read(fn func(*runtime.MemStats) float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); c.at.IsZero() || now.Sub(c.at) > c.ttl {
+		runtime.ReadMemStats(&c.ms)
+		c.at = now
+	}
+	return fn(&c.ms)
+}
+
+// RegisterGoMetrics registers Go runtime health gauges (goroutines, heap,
+// GC) sampled at scrape time. Safe to call more than once on the same
+// registry — later calls replace the callbacks.
+func RegisterGoMetrics(r *Registry) {
+	r.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	c := &memStatsCache{ttl: time.Second}
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return c.read(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }) })
+	r.GaugeFunc("go_memstats_heap_objects", "Number of allocated heap objects.",
+		func() float64 { return c.read(func(m *runtime.MemStats) float64 { return float64(m.HeapObjects) }) })
+	r.GaugeFunc("go_memstats_sys_bytes", "Bytes of memory obtained from the OS.",
+		func() float64 { return c.read(func(m *runtime.MemStats) float64 { return float64(m.Sys) }) })
+	r.GaugeFunc("go_memstats_next_gc_bytes", "Heap size at which the next GC cycle runs.",
+		func() float64 { return c.read(func(m *runtime.MemStats) float64 { return float64(m.NextGC) }) })
+	r.CounterFunc("go_memstats_alloc_bytes_total", "Cumulative bytes allocated for heap objects.",
+		func() float64 { return c.read(func(m *runtime.MemStats) float64 { return float64(m.TotalAlloc) }) })
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 { return c.read(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }) })
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.",
+		func() float64 {
+			return c.read(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 })
+		})
+}

@@ -35,11 +35,11 @@ type cacheEntry struct {
 
 // searchCache is a mutex-guarded LRU over recent search responses.
 type searchCache struct {
-	mu           sync.Mutex
-	cap          int
-	ll           *list.List // front = most recently used
-	byKey        map[cacheKey]*list.Element
-	hits, misses int64
+	mu                      sync.Mutex
+	cap                     int
+	ll                      *list.List // front = most recently used
+	byKey                   map[cacheKey]*list.Element
+	hits, misses, evictions int64
 }
 
 // newSearchCache builds a cache holding up to capacity entries;
@@ -127,6 +127,7 @@ func (c *searchCache) Put(key cacheKey, query []float64, resp searchResponse) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.evictions++
 	}
 }
 
@@ -144,14 +145,18 @@ func sameQuery(a, b []float64) bool {
 
 // cacheStats is the /v1/stats slice of the cache.
 type cacheStats struct {
-	Hits     int64 `json:"hits"`
-	Misses   int64 `json:"misses"`
-	Entries  int   `json:"entries"`
-	Capacity int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Capacity  int   `json:"capacity"`
 }
 
 func (c *searchCache) Stats() cacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return cacheStats{Hits: c.hits, Misses: c.misses, Entries: c.ll.Len(), Capacity: c.cap}
+	return cacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: c.ll.Len(), Capacity: c.cap,
+	}
 }

@@ -6,6 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
 	"time"
@@ -13,6 +17,7 @@ import (
 	"classminer"
 	"classminer/internal/access"
 	"classminer/internal/concept"
+	"classminer/internal/metrics"
 	"classminer/internal/store"
 	"classminer/internal/synth"
 	"classminer/internal/vidmodel"
@@ -52,9 +57,92 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"cache":     s.cache.Stats(),
 		"ingest":    s.pool.Stats(s.opts.Workers),
 		"index":     s.rebuilder.Stats(),
+		"process":   processInfo(),
 		"uptimeSec": time.Since(s.started).Seconds(),
 		"requests":  s.requests.Load(),
 	})
+}
+
+// buildIdentity extracts the VCS stamp once: debug.ReadBuildInfo walks the
+// module graph, far too heavy to repeat per stats request.
+var buildIdentity = sync.OnceValue(func() map[string]string {
+	id := map[string]string{}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return id
+	}
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		id["version"] = bi.Main.Version
+	}
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			id["revision"] = kv.Value
+		case "vcs.time":
+			id["buildTime"] = kv.Value
+		case "vcs.modified":
+			id["dirty"] = kv.Value
+		}
+	}
+	return id
+})
+
+// processInfo is the process-identity slice of /v1/stats, so the JSON view
+// and /metrics agree on what is being observed.
+func processInfo() map[string]any {
+	return map[string]any{
+		"pid":        os.Getpid(),
+		"goVersion":  runtime.Version(),
+		"goroutines": runtime.NumGoroutine(),
+		"build":      buildIdentity(),
+	}
+}
+
+// --- GET /metrics ------------------------------------------------------------
+
+// handleMetrics serves the Prometheus text exposition. It sits behind
+// withAuth like every other endpoint (operational counters reveal workload
+// shape), but needs no clearance beyond authentication.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	if s.opts.Metrics == nil {
+		writeError(w, http.StatusNotFound, "metrics disabled")
+		return
+	}
+	w.Header().Set("Content-Type", metrics.ContentType)
+	if err := s.opts.Metrics.WritePrometheus(w); err != nil {
+		s.opts.Logf("writing /metrics: %v", err)
+	}
+}
+
+// --- /debug/pprof/* ----------------------------------------------------------
+
+// handlePprof serves net/http/pprof behind two gates: the -pprof flag
+// (disabled deployments 404, indistinguishable from no route) and
+// Administrator clearance (profiles expose goroutine stacks and heap
+// contents that the API's policy filtering would never release). Dispatch
+// uses the raw URL path because pprof.Index parses the profile name from
+// everything after "/debug/pprof/" — the router's trailing-slash
+// normalisation must not leak into it.
+func (s *Server) handlePprof(w http.ResponseWriter, r *http.Request) {
+	if !s.opts.EnablePprof {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no route %s", r.URL.Path))
+		return
+	}
+	if !s.requireClearance(w, r, classminer.Administrator) {
+		return
+	}
+	switch strings.TrimSuffix(r.URL.Path, "/") {
+	case "/debug/pprof/cmdline":
+		pprof.Cmdline(w, r)
+	case "/debug/pprof/profile":
+		pprof.Profile(w, r)
+	case "/debug/pprof/symbol":
+		pprof.Symbol(w, r)
+	case "/debug/pprof/trace":
+		pprof.Trace(w, r)
+	default:
+		pprof.Index(w, r)
+	}
 }
 
 // --- GET /v1/videos --------------------------------------------------------
@@ -591,6 +679,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	job := &Job{Video: name, Subcluster: req.Subcluster, req: req, user: u}
 	if err := s.pool.Submit(job); err != nil {
+		if errors.Is(err, ErrQueueFull) && s.metrics != nil {
+			s.metrics.ingestRejected.Inc()
+		}
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}

@@ -81,10 +81,12 @@ func (s *Server) requireClearance(w http.ResponseWriter, r *http.Request, min ac
 	return true
 }
 
-// statusWriter records the response code for the request log.
+// statusWriter records the response code and body size for the request log
+// and the per-route metrics.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (sw *statusWriter) WriteHeader(code int) {
@@ -92,13 +94,39 @@ func (sw *statusWriter) WriteHeader(code int) {
 	sw.ResponseWriter.WriteHeader(code)
 }
 
-// withLogging emits one line per request.
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming responses (pprof
+// profiles, long listings behind a real http.Server) can flush through the
+// logging wrapper instead of buffering to completion.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withLogging emits one line per request and feeds the per-route metrics.
+// /healthz is counted but not logged: liveness probes arrive every few
+// seconds and would otherwise dominate the request log.
 func (s *Server) withLogging(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(sw, r)
-		s.opts.Logf("%s %s -> %d (%s)", r.Method, r.URL.Path, sw.status, time.Since(start).Round(time.Microsecond))
+		elapsed := time.Since(start)
+		route := routeTemplate(r.URL.Path)
+		s.metrics.observe(route, sw.status, sw.bytes, elapsed)
+		if route == "/healthz" {
+			return
+		}
+		// Response size is deliberately not in the line: boxing the int64
+		// for the varargs would cost the hot path an allocation, and
+		// http_response_bytes_total carries it already.
+		s.opts.Logf("%s %s -> %d (%s)", r.Method, r.URL.Path, sw.status, elapsed.Round(time.Microsecond))
 	})
 }
 

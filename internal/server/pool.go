@@ -158,6 +158,10 @@ func (p *ingestPool) Get(id string) *Job {
 	return &cp
 }
 
+// QueueLen reports how many submitted jobs are waiting for a worker (the
+// channel length is an instantaneous sample; fine for a gauge).
+func (p *ingestPool) QueueLen() int { return len(p.queue) }
+
 // Close stops accepting jobs and waits for in-flight ones to finish.
 func (p *ingestPool) Close() {
 	p.mu.Lock()

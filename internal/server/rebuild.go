@@ -34,6 +34,9 @@ type rebuilder struct {
 	// rebuild return without building again.
 	buildMu  sync.Mutex
 	rebuilds atomic.Int64
+	// coalesced counts kicks absorbed into an already-open debounce window
+	// — the batching win the rebuilder exists for, now observable.
+	coalesced atomic.Int64
 }
 
 func newRebuilder(lib *classminer.Library, budget float64, debounce time.Duration, logf func(string, ...any)) *rebuilder {
@@ -113,6 +116,7 @@ func (r *rebuilder) loop() {
 				// Coalesced into the same window; the timer keeps its
 				// original deadline so a steady mutation stream cannot
 				// starve the rebuild forever.
+				r.coalesced.Add(1)
 			case <-t.C:
 				break drain
 			}
@@ -136,6 +140,7 @@ func (r *rebuilder) Close() {
 // stats is the /v1/stats slice of the rebuilder.
 type rebuilderStats struct {
 	Rebuilds  int64   `json:"rebuilds"`
+	Coalesced int64   `json:"coalesced"`
 	Budget    float64 `json:"budget"`
 	Staleness float64 `json:"staleness"`
 }
@@ -143,6 +148,7 @@ type rebuilderStats struct {
 func (r *rebuilder) Stats() rebuilderStats {
 	return rebuilderStats{
 		Rebuilds:  r.rebuilds.Load(),
+		Coalesced: r.coalesced.Load(),
 		Budget:    r.budget,
 		Staleness: r.lib.IndexStaleness(),
 	}

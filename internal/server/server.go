@@ -23,6 +23,7 @@ import (
 
 	"classminer"
 	"classminer/internal/access"
+	"classminer/internal/metrics"
 )
 
 // Options configures a Server. The zero value serves anonymously at Public
@@ -56,6 +57,16 @@ type Options struct {
 	// mutation for further mutations to coalesce into the same refit
 	// (default 250ms).
 	RebuildDebounce time.Duration
+	// Metrics is the registry GET /metrics exposes. When nil one is created
+	// unless DisableMetrics is set; pass a shared registry to combine the
+	// server's series with the WAL's (see wal.Options.Metrics).
+	Metrics *metrics.Registry
+	// DisableMetrics turns instrumentation and GET /metrics off entirely.
+	DisableMetrics bool
+	// EnablePprof serves net/http/pprof under /debug/pprof/ to
+	// Administrator-clearance callers. Off by default: profiles expose
+	// internals far beyond the API's policy filtering.
+	EnablePprof bool
 	// Logf receives one line per request and per job transition (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -82,6 +93,11 @@ func (o Options) withDefaults() Options {
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
+	if o.DisableMetrics {
+		o.Metrics = nil
+	} else if o.Metrics == nil {
+		o.Metrics = metrics.NewRegistry()
+	}
 	return o
 }
 
@@ -93,6 +109,7 @@ type Server struct {
 	cache     *searchCache
 	pool      *ingestPool
 	rebuilder *rebuilder
+	metrics   *serverMetrics // nil when metrics are disabled
 	handler   http.Handler
 	started   time.Time
 	requests  atomic.Int64
@@ -110,6 +127,10 @@ func New(lib *classminer.Library, opts Options) *Server {
 	}
 	s.rebuilder = newRebuilder(lib, opts.RebuildBudget, opts.RebuildDebounce, opts.Logf)
 	s.pool = newIngestPool(opts.Workers, opts.QueueDepth, s.runJob)
+	if opts.Metrics != nil {
+		s.metrics = newServerMetrics(opts.Metrics, s)
+		lib.Instrument(opts.Metrics)
+	}
 	s.handler = s.withRecovery(s.withLogging(s.withAuth(http.HandlerFunc(s.route))))
 	return s
 }
@@ -176,6 +197,10 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 		s.post(w, r, s.handleAdminCheckpoint)
 	case path == "/v1/admin/compact":
 		s.post(w, r, s.handleAdminCompact)
+	case path == "/metrics":
+		s.get(w, r, s.handleMetrics)
+	case path == "/debug/pprof" || strings.HasPrefix(path, "/debug/pprof/"):
+		s.handlePprof(w, r)
 	default:
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no route %s", r.URL.Path))
 	}

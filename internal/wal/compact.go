@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"classminer/internal/store"
 )
@@ -72,6 +73,7 @@ func (p recPos) after(q recPos) bool {
 func (e *Engine) Compact() (CompactResult, error) {
 	e.cpMu.Lock()
 	defer e.cpMu.Unlock()
+	cStart := time.Now()
 
 	e.mu.Lock()
 	if e.closed {
@@ -330,6 +332,7 @@ func (e *Engine) Compact() (CompactResult, error) {
 		e.opts.Logf("wal: compaction dropped %d records (%d bytes) across %d segments, removed %d",
 			res.RecordsDropped, res.BytesFreed, res.SegmentsCompacted, res.SegmentsRemoved)
 	}
+	e.met.compact.ObserveSince(cStart)
 	return res, nil
 }
 

@@ -101,6 +101,10 @@ type Engine struct {
 	// way a crash would).
 	compactHook func(stage string, seg uint64) error
 
+	// met holds the engine's instruments (see registerMetrics); the zero
+	// value is inert.
+	met engineMetrics
+
 	kick        chan struct{} // nudges the background checkpointer
 	compactKick chan struct{} // nudges the background compactor
 	done        chan struct{}
@@ -173,6 +177,9 @@ func Open(dir string, opts Options) (*Engine, error) {
 			e.active.Close()
 			return nil, err
 		}
+	}
+	if opts.Metrics != nil {
+		e.registerMetrics(opts.Metrics)
 	}
 	if opts.Sync == SyncInterval {
 		e.wg.Add(1)
@@ -497,6 +504,8 @@ func (e *Engine) Begin(payload []byte) (Commit, error) {
 	e.activeSize += n
 	e.lagRecords++
 	e.lagBytes += n
+	e.met.appends.Inc()
+	e.met.appendBytes.Add(uint64(n))
 	if e.source != nil && e.lagExceededLocked() {
 		select {
 		case e.kick <- struct{}{}:
@@ -594,6 +603,7 @@ func (e *Engine) leadCommit(b *syncBatch) error {
 		err = f.Sync()
 	}
 	took := time.Since(start)
+	e.met.fsync.Observe(took.Seconds())
 
 	e.mu.Lock()
 	e.lastBatch = recs
@@ -610,6 +620,7 @@ func (e *Engine) leadCommit(b *syncBatch) error {
 		e.unsyncedBytes -= bytes
 		e.mu.Unlock()
 		e.syncMu.Unlock()
+		e.met.batch.Observe(float64(recs))
 		b.commit(nil)
 		return nil
 	}
@@ -762,6 +773,7 @@ func (e *Engine) rotateLocked() error {
 	// reach while it was active.
 	e.deadActiveBytes = 0
 	e.maybeKickCompactLocked()
+	e.met.rotations.Inc()
 	return nil
 }
 
@@ -773,6 +785,7 @@ func (e *Engine) rotateLocked() error {
 func (e *Engine) Checkpoint() error {
 	e.cpMu.Lock()
 	defer e.cpMu.Unlock()
+	cpStart := time.Now()
 
 	// rotateLocked needs the fsync baton (lock order cpMu < syncMu < mu).
 	e.syncMu.Lock()
@@ -848,6 +861,7 @@ func (e *Engine) Checkpoint() error {
 		}
 	}
 	e.opts.Logf("wal: checkpoint generation %d (%d records, %d bytes folded in)", gen, prevRecords, prevBytes)
+	e.met.checkpoint.ObserveSince(cpStart)
 	return nil
 }
 

@@ -1,0 +1,54 @@
+package wal
+
+import "classminer/internal/metrics"
+
+// engineMetrics holds the engine's instruments. The zero value is fully
+// inert — every instrument is a nil pointer whose methods are no-ops — so
+// an engine opened without Options.Metrics pays only nil checks on the
+// append and commit paths.
+type engineMetrics struct {
+	appends     *metrics.Counter   // records staged on the log
+	appendBytes *metrics.Counter   // framed bytes staged on the log
+	rotations   *metrics.Counter   // active-segment rotations
+	fsync       *metrics.Histogram // group-commit fsync latency
+	batch       *metrics.Histogram // records acknowledged per group-commit fsync
+	checkpoint  *metrics.Histogram // successful checkpoint wall time
+	compact     *metrics.Histogram // successful compaction wall time
+}
+
+// registerMetrics binds the engine's instrumentation to reg. Counters and
+// histograms dedupe by name, so an engine reopened on the same registry
+// (kill-restart recovery, the durable-library tests) keeps accumulating the
+// same series; the gauge callbacks over Stats() are re-registered and
+// re-bind to the new engine. Runs once at Open, before any concurrency.
+func (e *Engine) registerMetrics(reg *metrics.Registry) {
+	e.met = engineMetrics{
+		appends: reg.Counter("wal_appends_total",
+			"Records staged on the write-ahead log."),
+		appendBytes: reg.Counter("wal_append_bytes_total",
+			"Framed bytes staged on the write-ahead log."),
+		rotations: reg.Counter("wal_rotations_total",
+			"Active-segment rotations (seal + new segment)."),
+		fsync: reg.Histogram("wal_fsync_duration_seconds",
+			"Group-commit fsync latency.", metrics.LatencyBuckets),
+		batch: reg.Histogram("wal_group_commit_records",
+			"Records acknowledged per group-commit fsync.", metrics.CountBuckets),
+		checkpoint: reg.Histogram("wal_checkpoint_duration_seconds",
+			"Wall time of successful checkpoints.", metrics.LatencyBuckets),
+		compact: reg.Histogram("wal_compact_duration_seconds",
+			"Wall time of successful sealed-segment compactions.", metrics.LatencyBuckets),
+	}
+	reg.GaugeFunc("wal_lag_records", "Records appended since the last checkpoint.",
+		func() float64 { return float64(e.Stats().Records) })
+	reg.GaugeFunc("wal_lag_bytes", "Log bytes appended since the last checkpoint.",
+		func() float64 { return float64(e.Stats().Bytes) })
+	reg.GaugeFunc("wal_dead_bytes",
+		"Estimated bytes of superseded records on the live log (compaction trigger).",
+		func() float64 { return float64(e.Stats().DeadBytes) })
+	reg.GaugeFunc("wal_segments", "Live log segments (replayed on recovery).",
+		func() float64 { return float64(e.Stats().Segments) })
+	reg.CounterFunc("wal_checkpoints_total", "Completed checkpoint generations.",
+		func() float64 { return float64(e.Stats().Generation) })
+	reg.CounterFunc("wal_syncs_total", "Segment-data fsyncs since open.",
+		func() float64 { return float64(e.Stats().Syncs) })
+}

@@ -31,6 +31,8 @@ package wal
 import (
 	"errors"
 	"time"
+
+	"classminer/internal/metrics"
 )
 
 // SyncPolicy selects when appended records are fsynced to stable storage.
@@ -76,6 +78,12 @@ type Options struct {
 	// it rewrites only the sealed segments that shrank, not a full
 	// snapshot.
 	CompactBytes int64
+	// Metrics, when non-nil, receives the engine's instrumentation: append
+	// and fsync counters/histograms, group-commit batch sizes, and
+	// scrape-time gauges over Stats(). Reopening an engine on the same
+	// registry (kill-restart recovery) re-binds the gauge callbacks to the
+	// new engine and keeps accumulating the shared counters.
+	Metrics *metrics.Registry
 	// Logf receives recovery and checkpoint notices (nil = silent).
 	Logf func(format string, args ...any)
 }
