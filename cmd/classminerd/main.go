@@ -113,6 +113,13 @@ type config struct {
 	rebuildAfter    float64
 	rebuildDebounce time.Duration
 
+	// admission control / self-protection
+	rate        float64
+	burst       float64
+	maxInflight int
+	reqTimeout  time.Duration
+	memBudget   int64
+
 	// durable-mode tuning (only read when dataDir is set)
 	fsync        string
 	fsyncEvery   time.Duration
@@ -142,6 +149,11 @@ func main() {
 	flag.BoolVar(&cfg.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/ to Administrator-clearance callers")
 	flag.Float64Var(&cfg.rebuildAfter, "rebuild-after", 0.25, "index staleness fraction (inserted+removed since the last full fit) that triggers a background rebuild")
 	flag.DurationVar(&cfg.rebuildDebounce, "rebuild-debounce", 250*time.Millisecond, "how long the rebuilder waits for further mutations to coalesce into one rebuild")
+	flag.Float64Var(&cfg.rate, "rate", 0, "per-token request rate limit in req/s, scaled by clearance tier (0 disables)")
+	flag.Float64Var(&cfg.burst, "burst", 0, "per-token rate-limit burst (default 2x -rate)")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 256, "concurrent search requests admitted; mutations and admin get narrower slices (negative disables)")
+	flag.DurationVar(&cfg.reqTimeout, "req-timeout", 10*time.Second, "per-request deadline for search and mutation handlers; admin gets 4x (negative disables)")
+	flag.Int64Var(&cfg.memBudget, "mem-budget", 0, "heap budget in bytes; over it the server degrades in stages — shed cache, pause rebuilds, reject ingest (0 disables)")
 	flag.StringVar(&cfg.fsync, "fsync", "always", "WAL fsync policy: always, interval or off")
 	flag.DurationVar(&cfg.fsyncEvery, "fsync-interval", 100*time.Millisecond, "background fsync period under -fsync=interval")
 	flag.Int64Var(&cfg.segBytes, "segment-bytes", 4<<20, "WAL segment rotation size")
@@ -207,6 +219,11 @@ func run(cfg config) error {
 		Metrics:         reg,
 		DisableMetrics:  !cfg.metrics,
 		EnablePprof:     cfg.pprof,
+		Rate:            cfg.rate,
+		Burst:           cfg.burst,
+		MaxInflight:     cfg.maxInflight,
+		ReqTimeout:      cfg.reqTimeout,
+		MemBudget:       cfg.memBudget,
 		Logf:            logger.Printf,
 	}
 	if cfg.anon != "" && cfg.anon != "none" {
@@ -219,7 +236,19 @@ func run(cfg config) error {
 	srv := server.New(lib, opts)
 	defer srv.Close()
 
-	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv}
+	// The transport timeouts are the slowloris defence: a client that
+	// dribbles its headers, trickles a request body, or never reads its
+	// response occupies a connection, not a goroutine forever. WriteTimeout
+	// is sized above the admin request deadline (4x -req-timeout) so the
+	// application-level 503 always beats the transport cutting the wire.
+	httpSrv := &http.Server{
+		Addr:              cfg.addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

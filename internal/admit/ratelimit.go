@@ -1,0 +1,117 @@
+package admit
+
+import (
+	"sync"
+	"time"
+)
+
+// bucket is one key's token-bucket state. Tokens refill lazily: each Allow
+// computes the elapsed time since the last touch instead of running a
+// refill goroutine per bucket.
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// RateLimiter hands out token-bucket verdicts per key. Keys are expected to
+// be authentication tokens, which auth has already vetted against a bounded
+// table — cardinality is bounded by configuration, not by the traffic. A
+// lazy sweep drops long-idle buckets anyway, so even a rotating token table
+// cannot grow the map without bound.
+//
+// The hot path is one mutex acquisition, one map lookup and a few float
+// operations — no allocation once a key's bucket exists, which is what the
+// search path's zero-alloc contract requires.
+type RateLimiter struct {
+	now func() time.Time // injectable clock for tests
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+// sweepThreshold is the bucket count above which Allow opportunistically
+// drops idle buckets; sweepIdle is how long a bucket must be untouched to
+// be dropped. A full bucket holds no state worth keeping.
+const (
+	sweepThreshold = 1024
+	sweepIdle      = 10 * time.Minute
+)
+
+// NewRateLimiter returns an empty limiter using the real clock.
+func NewRateLimiter() *RateLimiter {
+	return &RateLimiter{now: time.Now, buckets: make(map[string]*bucket)}
+}
+
+// SetClock replaces the limiter's clock (tests only; not safe to call
+// concurrently with Allow).
+func (l *RateLimiter) SetClock(now func() time.Time) { l.now = now }
+
+// Allow spends one token from key's bucket under lim, reporting the verdict
+// and the header-ready accounting. The limit is passed per call rather than
+// stored per bucket so an operator-changed override takes effect on the
+// next request, not after some expiry.
+func (l *RateLimiter) Allow(key string, lim Limit) Decision {
+	if lim.Rate <= 0 {
+		return Decision{OK: true}
+	}
+	if lim.Burst < 1 {
+		lim.Burst = 1
+	}
+	now := l.now()
+	l.mu.Lock()
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= sweepThreshold {
+			l.sweepLocked(now)
+		}
+		b = &bucket{tokens: lim.Burst, last: now}
+		l.buckets[key] = b
+	} else {
+		elapsed := now.Sub(b.last).Seconds()
+		if elapsed > 0 {
+			b.tokens += elapsed * lim.Rate
+			b.last = now
+		}
+	}
+	// A shrunk override must clamp immediately, not after the surplus drains.
+	if b.tokens > lim.Burst {
+		b.tokens = lim.Burst
+	}
+	d := Decision{Limit: int(lim.Burst)}
+	if b.tokens >= 1 {
+		b.tokens--
+		d.OK = true
+		d.Remaining = int(b.tokens)
+		d.Reset = refillTime(lim.Burst-b.tokens, lim.Rate)
+	} else {
+		d.RetryAfter = refillTime(1-b.tokens, lim.Rate)
+		d.Reset = refillTime(lim.Burst-b.tokens, lim.Rate)
+	}
+	l.mu.Unlock()
+	return d
+}
+
+// Buckets reports how many keys currently hold state (a stats gauge).
+func (l *RateLimiter) Buckets() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// sweepLocked drops buckets idle past sweepIdle. Called with l.mu held.
+func (l *RateLimiter) sweepLocked(now time.Time) {
+	for k, b := range l.buckets {
+		if now.Sub(b.last) > sweepIdle {
+			delete(l.buckets, k)
+		}
+	}
+}
+
+// refillTime is how long a bucket refilling at rate needs to gain deficit
+// tokens.
+func refillTime(deficit, rate float64) time.Duration {
+	if deficit <= 0 || rate <= 0 {
+		return 0
+	}
+	return time.Duration(deficit / rate * float64(time.Second))
+}

@@ -1,0 +1,180 @@
+package admit
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level is the memory watchdog's degradation stage. Each level strictly
+// contains the previous one's measures: under growing pressure the server
+// first gives back discretionary memory (caches), then stops creating more
+// (background refits), and only as a last resort refuses new data — reads
+// keep answering at every level, because a degraded archive that still
+// serves queries beats a crashed one that serves nothing.
+type Level int32
+
+const (
+	// LevelNormal: full service.
+	LevelNormal Level = iota
+	// LevelShedCache: discretionary memory (the search cache) is shrunk.
+	LevelShedCache
+	// LevelPauseRebuild: background index refits are paused (the
+	// incremental overlay keeps serving mutations).
+	LevelPauseRebuild
+	// LevelRejectIngest: writes are refused with 503; reads stay live.
+	LevelRejectIngest
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelNormal:
+		return "normal"
+	case LevelShedCache:
+		return "shed-cache"
+	case LevelPauseRebuild:
+		return "pause-rebuild"
+	case LevelRejectIngest:
+		return "reject-ingest"
+	default:
+		return "unknown"
+	}
+}
+
+// enterFrac[i] is the fraction of the budget at which the watchdog steps up
+// to level i+1; a level is left again only below enterFrac[i]-hysteresis,
+// so heap noise around a threshold cannot flap the service state.
+var enterFrac = [3]float64{0.80, 0.90, 0.95}
+
+const hysteresis = 0.05
+
+// WatchdogConfig configures a Watchdog.
+type WatchdogConfig struct {
+	// Budget is the heap budget in bytes; <= 0 disables the watchdog
+	// (NewWatchdog returns nil, and a nil Watchdog reports LevelNormal).
+	Budget int64
+	// Sample returns the current heap usage in bytes. Nil means the Go
+	// runtime's live-heap figure; tests inject a hook here so degradation
+	// can be driven without real allocation pressure.
+	Sample func() uint64
+	// Interval is the sampling period (default 1s).
+	Interval time.Duration
+	// OnChange is called, outside the evaluation lock but never
+	// concurrently with itself, whenever the level transitions.
+	OnChange func(from, to Level)
+}
+
+// Watchdog samples heap usage against a budget and maintains the current
+// degradation Level. Level reads are one atomic load, cheap enough for
+// every ingest request to consult.
+type Watchdog struct {
+	cfg   WatchdogConfig
+	level atomic.Int32
+
+	evalMu sync.Mutex // serializes evaluate (ticker loop vs test Poke)
+	done   chan struct{}
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+// NewWatchdog starts a watchdog goroutine, or returns nil when the budget
+// is unset. Close the returned watchdog to stop it.
+func NewWatchdog(cfg WatchdogConfig) *Watchdog {
+	if cfg.Budget <= 0 {
+		return nil
+	}
+	if cfg.Sample == nil {
+		cfg.Sample = liveHeap
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	w := &Watchdog{cfg: cfg, done: make(chan struct{})}
+	w.wg.Add(1)
+	go w.loop()
+	return w
+}
+
+// liveHeap is the default sampler: bytes of live heap objects. HeapAlloc
+// (not Sys) is the figure the budget should bound — it is what grows with
+// library size and query load, and what the GC can actually be asked to
+// keep down.
+func liveHeap() uint64 {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// Level returns the current degradation level. Nil-safe: a disabled
+// watchdog is permanently LevelNormal.
+func (w *Watchdog) Level() Level {
+	if w == nil {
+		return LevelNormal
+	}
+	return Level(w.level.Load())
+}
+
+// Poke samples and evaluates once, synchronously — the deterministic test
+// entry point (the background loop does exactly this on a ticker).
+func (w *Watchdog) Poke() Level {
+	if w == nil {
+		return LevelNormal
+	}
+	return w.evaluate(w.cfg.Sample())
+}
+
+// Close stops the sampling loop. Nil-safe and idempotent.
+func (w *Watchdog) Close() {
+	if w == nil {
+		return
+	}
+	w.once.Do(func() { close(w.done) })
+	w.wg.Wait()
+}
+
+func (w *Watchdog) loop() {
+	defer w.wg.Done()
+	t := time.NewTicker(w.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.done:
+			return
+		case <-t.C:
+			w.evaluate(w.cfg.Sample())
+		}
+	}
+}
+
+// evaluate applies one sample: step the level up past every entry threshold
+// the usage exceeds, or down past every one it has cleared (with
+// hysteresis), firing OnChange on a transition.
+func (w *Watchdog) evaluate(heap uint64) Level {
+	w.evalMu.Lock()
+	defer w.evalMu.Unlock()
+	frac := float64(heap) / float64(w.cfg.Budget)
+	cur := Level(w.level.Load())
+	next := cur
+	for next < LevelRejectIngest && frac >= enterFrac[next] {
+		next++
+	}
+	for next > LevelNormal && frac < enterFrac[next-1]-hysteresis {
+		next--
+	}
+	if next != cur {
+		w.level.Store(int32(next))
+		if w.cfg.OnChange != nil {
+			w.cfg.OnChange(cur, next)
+		}
+	}
+	return next
+}
+
+// Budget returns the configured heap budget (0 when disabled).
+func (w *Watchdog) Budget() int64 {
+	if w == nil {
+		return 0
+	}
+	return w.cfg.Budget
+}

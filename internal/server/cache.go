@@ -131,6 +131,22 @@ func (c *searchCache) Put(key cacheKey, query []float64, resp searchResponse) {
 	}
 }
 
+// SetCapacity rebounds the cache, evicting LRU entries that no longer fit.
+// The memory watchdog calls it to give discretionary memory back under heap
+// pressure (and to restore it on recovery); capacity <= 0 empties the cache
+// and disables Put.
+func (c *searchCache) SetCapacity(capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cap = capacity
+	for c.ll.Len() > max(capacity, 0) {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
 func sameQuery(a, b []float64) bool {
 	if len(a) != len(b) {
 		return false

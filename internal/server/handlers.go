@@ -16,6 +16,7 @@ import (
 
 	"classminer"
 	"classminer/internal/access"
+	"classminer/internal/admit"
 	"classminer/internal/concept"
 	"classminer/internal/metrics"
 	"classminer/internal/store"
@@ -34,9 +35,18 @@ func (s *Server) subclusterPath(subcluster string) []string {
 	return s.lib.ConceptPath(subcluster)
 }
 
+// lrPool recycles the body-limiting wrapper: the decoder referencing it is
+// dead by the time decodeBody returns, so the wrapper can be reused without
+// aliasing a live reader.
+var lrPool = sync.Pool{New: func() any { return new(io.LimitedReader) }}
+
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(io.LimitReader(r.Body, maxBodyBytes))
-	if err := dec.Decode(v); err != nil {
+	lr := lrPool.Get().(*io.LimitedReader)
+	lr.R, lr.N = r.Body, maxBodyBytes
+	err := json.NewDecoder(lr).Decode(v)
+	lr.R = nil
+	lrPool.Put(lr)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return false
 	}
@@ -57,6 +67,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"cache":     s.cache.Stats(),
 		"ingest":    s.pool.Stats(s.opts.Workers),
 		"index":     s.rebuilder.Stats(),
+		"admission": s.admit.Stats(),
 		"process":   processInfo(),
 		"uptimeSec": time.Since(s.started).Seconds(),
 		"requests":  s.requests.Load(),
@@ -428,11 +439,18 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	if s.deadlineExpired(w, r) {
+		return
+	}
 	scratch := hitsPool.Get().(*[]classminer.SearchHit)
 	hits, stats, err := s.lib.SearchInto((*scratch)[:0], u, query, k)
 	if err != nil {
 		hitsPool.Put(scratch)
 		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	if s.deadlineExpired(w, r) {
+		hitsPool.Put(scratch)
 		return
 	}
 	resp := buildSearchResponse(hits, stats, k)
@@ -521,9 +539,15 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		itemMiss[i] = pos
 	}
 	if len(missQueries) > 0 {
+		if s.deadlineExpired(w, r) {
+			return
+		}
 		hits, stats, err := s.lib.SearchBatch(u, missQueries, k)
 		if err != nil {
 			writeError(w, http.StatusServiceUnavailable, err.Error())
+			return
+		}
+		if s.deadlineExpired(w, r) {
 			return
 		}
 		missResp := make([]searchResponse, len(missQueries))
@@ -630,6 +654,16 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !s.requireClearance(w, r, s.opts.IngestClearance) {
 		return
 	}
+	// The memory watchdog's last stage: refuse new data while reads keep
+	// answering. Recovery is automatic — once the heap drops back under the
+	// budget the watchdog steps down and ingest reopens.
+	if s.admit.degradeLevel() >= admit.LevelRejectIngest {
+		s.admit.countReject(rejMemory)
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable,
+			"server under memory pressure; ingest temporarily disabled")
+		return
+	}
 	var req ingestRequest
 	if !decodeBody(w, r, &req) {
 		return
@@ -676,6 +710,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusForbidden, fmt.Sprintf("subcluster %q not accessible", ve.Subcluster))
 			return
 		}
+	}
+	if s.deadlineExpired(w, r) {
+		return
 	}
 	job := &Job{Video: name, Subcluster: req.Subcluster, req: req, user: u}
 	if err := s.pool.Submit(job); err != nil {

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"time"
 
+	"classminer/internal/admit"
 	"classminer/internal/metrics"
 )
 
@@ -71,6 +72,7 @@ type routeMetrics struct {
 type serverMetrics struct {
 	byRoute        map[string]*routeMetrics
 	ingestRejected *metrics.Counter
+	admitWait      *metrics.Histogram
 }
 
 // newServerMetrics registers every server-layer series on reg: per-route
@@ -94,6 +96,37 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 	}
 	m.ingestRejected = reg.Counter("ingest_rejected_total",
 		"Ingest submissions rejected because the queue was full.")
+
+	// Admission control. The rejection counters live in the admission
+	// struct (so /v1/stats works with metrics disabled); the registry
+	// mirrors them at scrape time.
+	m.admitWait = reg.Histogram("admit_wait_seconds",
+		"Time requests spent parked at a concurrency gate before admission or shedding.",
+		metrics.LatencyBuckets)
+	for i, name := range rejectReasonNames {
+		i := i
+		reg.CounterFunc("admit_rejected_total",
+			"Requests rejected by admission control, by reason.",
+			func() float64 {
+				if s.admit == nil {
+					return 0
+				}
+				return float64(s.admit.rejected[i].Load())
+			}, "reason", name)
+	}
+	reg.GaugeFunc("degrade_level",
+		"Memory-watchdog degradation stage (0 normal, 1 shed cache, 2 pause rebuilds, 3 reject ingest).",
+		func() float64 { return float64(s.admit.degradeLevel()) })
+	if s.admit != nil {
+		for c := admit.Class(0); c < admit.NumClasses; c++ {
+			if g := s.admit.gates[c]; g != nil {
+				g := g
+				reg.GaugeFunc("admit_inflight",
+					"Currently executing requests per admission class.",
+					func() float64 { return float64(g.InFlight()) }, "class", c.String())
+			}
+		}
+	}
 
 	reg.CounterFunc("search_cache_hits_total", "Search cache hits.",
 		func() float64 { return float64(s.cache.Stats().Hits) })
@@ -119,6 +152,14 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 
 	metrics.RegisterGoMetrics(reg)
 	return m
+}
+
+// observeAdmitWait records time spent parked at a concurrency gate.
+// Nil-safe so the admission middleware needs no disabled-metrics branch.
+func (m *serverMetrics) observeAdmitWait(d time.Duration) {
+	if m != nil {
+		m.admitWait.Observe(d.Seconds())
+	}
 }
 
 // observe records one finished request. Nil-safe so the logging middleware

@@ -120,7 +120,11 @@ func (s *Server) withLogging(next http.Handler) http.Handler {
 		elapsed := time.Since(start)
 		route := routeTemplate(r.URL.Path)
 		s.metrics.observe(route, sw.status, sw.bytes, elapsed)
-		if route == "/healthz" {
+		if route == "/healthz" || s.opts.quiet {
+			// With no log sink, skip the call entirely: rendering the
+			// varargs (boxing the status and duration, heap-copying the
+			// string headers) costs several allocations per request that a
+			// no-op Logf would silently throw away.
 			return
 		}
 		// Response size is deliberately not in the line: boxing the int64

@@ -48,26 +48,48 @@ var ErrQueueFull = errors.New("server: ingest queue full")
 
 var errPoolClosed = errors.New("server: ingest pool closed")
 
+// Finished-job retention: byID must stay bounded no matter how many jobs a
+// long-lived daemon runs, but /v1/jobs/{id} should keep answering for a
+// while after a job completes (202-accepted clients poll the Location URL).
+// The jobRetainCount most recent finishers are always kept; beyond them a
+// finished job survives only until jobRetainAge passes — and under a burst,
+// never past 4*jobRetainCount, so the map's bound does not depend on the
+// job rate. Queued and running jobs are never pruned.
+const (
+	jobRetainCount = 64
+	jobRetainAge   = 10 * time.Minute
+)
+
 // ingestPool runs jobs on a fixed set of workers with a bounded queue.
 type ingestPool struct {
 	queue chan *Job
 	run   func(*Job)
 	wg    sync.WaitGroup
 
-	mu     sync.Mutex
-	byID   map[string]*Job
-	seq    int
-	closed bool
-	counts struct{ queued, running, done, failed int }
+	mu       sync.Mutex
+	byID     map[string]*Job
+	finished []*Job // done/failed jobs, oldest first, pending prune
+	seq      int
+	closed   bool
+	counts   struct{ queued, running, done, failed int }
+
+	// retention knobs; fixed defaults in production, overridden by tests.
+	retainCount int
+	retainAge   time.Duration
 }
 
 // newIngestPool starts workers goroutines consuming a queue of the given
 // depth; run performs one job (status transitions are handled here).
 func newIngestPool(workers, depth int, run func(*Job)) *ingestPool {
+	if depth < 1 {
+		depth = 1
+	}
 	p := &ingestPool{
-		queue: make(chan *Job, depth),
-		run:   run,
-		byID:  map[string]*Job{},
+		queue:       make(chan *Job, depth),
+		run:         run,
+		byID:        map[string]*Job{},
+		retainCount: jobRetainCount,
+		retainAge:   jobRetainAge,
 	}
 	p.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -92,28 +114,32 @@ func (p *ingestPool) worker() {
 	}
 }
 
-// Submit registers and enqueues a job, assigning its ID. The non-blocking
-// send happens under the same lock as the closed check: Close also takes
-// the lock before closing the channel, so Submit can never send on (or
-// race with) a closed queue.
+// Submit registers and enqueues a job, assigning its ID. The enqueue
+// happens under the same lock as the closed check: Close also takes the
+// lock before closing the channel, so Submit can never send on (or race
+// with) a closed queue. The ID is assigned only once the job is actually
+// accepted — a shed submission must not burn a sequence number, or the
+// job-N series (which operators read as "jobs the server took") develops
+// holes that count rejections.
 func (p *ingestPool) Submit(j *Job) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return errPoolClosed
 	}
+	// Every send happens under this lock and workers only drain the queue,
+	// so a capacity check now cannot be invalidated before the send below.
+	if len(p.queue) == cap(p.queue) {
+		return ErrQueueFull
+	}
 	p.seq++
 	j.ID = fmt.Sprintf("job-%d", p.seq)
 	j.Status = JobQueued
 	j.Created = time.Now()
-	select {
-	case p.queue <- j:
-		p.byID[j.ID] = j
-		p.counts.queued++
-		return nil
-	default:
-		return ErrQueueFull
-	}
+	p.byID[j.ID] = j
+	p.counts.queued++
+	p.queue <- j
+	return nil
 }
 
 // Fail marks the job failed with the given error; called from run.
@@ -139,9 +165,33 @@ func (p *ingestPool) transition(j *Job, to JobStatus, errMsg string) {
 	case JobDone:
 		j.Finished = now
 		p.counts.done++
+		p.retire(j, now)
 	case JobFailed:
 		j.Finished = now
 		p.counts.failed++
+		p.retire(j, now)
+	}
+}
+
+// retire queues a finished job for pruning and prunes whatever is due: a
+// job beyond the retainCount most recent finishers goes once its retainAge
+// passes, or immediately once the backlog hits the 4x hard cap. Called with
+// p.mu held. The completion counters are untouched — pruning bounds memory,
+// not history.
+func (p *ingestPool) retire(j *Job, now time.Time) {
+	p.finished = append(p.finished, j)
+	hardCap := 4 * p.retainCount
+	cut := 0
+	for n := len(p.finished) - cut; n > p.retainCount; n = len(p.finished) - cut {
+		if n <= hardCap && now.Sub(p.finished[cut].Finished) < p.retainAge {
+			break
+		}
+		delete(p.byID, p.finished[cut].ID)
+		p.finished[cut] = nil // release the Job (and its payload) now
+		cut++
+	}
+	if cut > 0 {
+		p.finished = append(p.finished[:0], p.finished[cut:]...)
 	}
 }
 

@@ -29,6 +29,13 @@ type rebuilder struct {
 	closeOnce sync.Once
 	wg        sync.WaitGroup
 
+	// paused gates Kick: under memory pressure a full refit (which clones
+	// the index) is exactly the allocation spike the watchdog is trying to
+	// avoid, so background rebuilds stop until pressure clears. EnsureLive
+	// ignores the pause — it is a correctness path (cold start, mutations
+	// the overlay cannot absorb), not an optimization.
+	paused atomic.Bool
+
 	// buildMu makes rebuilds single-flight: whoever holds it re-checks the
 	// need under the latest state, so callers queued behind a finished
 	// rebuild return without building again.
@@ -56,12 +63,29 @@ func newRebuilder(lib *classminer.Library, budget float64, debounce time.Duratio
 // Kick notes that a mutation happened. The background loop debounces kicks
 // and refits only when the staleness budget says so; a kick is never lost
 // (the channel holds one pending nudge) and never blocks the mutator.
+// While paused (memory pressure), kicks are dropped — SetPaused(false)
+// re-kicks to catch up on whatever landed meanwhile.
 func (r *rebuilder) Kick() {
+	if r.paused.Load() {
+		return
+	}
 	select {
 	case r.kick <- struct{}{}:
 	default:
 	}
 }
+
+// SetPaused gates background rebuilds. Unpausing kicks once: any mutations
+// that landed during the pause get their coalesced refit now.
+func (r *rebuilder) SetPaused(p bool) {
+	was := r.paused.Swap(p)
+	if was && !p {
+		r.Kick()
+	}
+}
+
+// Paused reports whether background rebuilds are currently gated off.
+func (r *rebuilder) Paused() bool { return r.paused.Load() }
 
 // EnsureLive brings the index up to date synchronously when it is stale —
 // the cold-start path (first ingest into an empty library) and the fallback
@@ -143,6 +167,7 @@ type rebuilderStats struct {
 	Coalesced int64   `json:"coalesced"`
 	Budget    float64 `json:"budget"`
 	Staleness float64 `json:"staleness"`
+	Paused    bool    `json:"paused"`
 }
 
 func (r *rebuilder) Stats() rebuilderStats {
@@ -151,5 +176,6 @@ func (r *rebuilder) Stats() rebuilderStats {
 		Coalesced: r.coalesced.Load(),
 		Budget:    r.budget,
 		Staleness: r.lib.IndexStaleness(),
+		Paused:    r.paused.Load(),
 	}
 }

@@ -23,6 +23,7 @@ import (
 
 	"classminer"
 	"classminer/internal/access"
+	"classminer/internal/admit"
 	"classminer/internal/metrics"
 )
 
@@ -69,6 +70,44 @@ type Options struct {
 	EnablePprof bool
 	// Logf receives one line per request and per job transition (nil = silent).
 	Logf func(format string, args ...any)
+
+	// --- admission control (see internal/admit and the README's "Traffic
+	// hardening" section) ---
+
+	// Rate is the per-token sustained request rate (requests/second) for
+	// Public-clearance callers; higher tiers get multiples of it. 0 disables
+	// rate limiting.
+	Rate float64
+	// Burst is the token-bucket depth (default 2*Rate).
+	Burst float64
+	// RateOverrides pins specific tokens to their own limits, bypassing the
+	// tier scaling (keys are the bearer-token values of Tokens).
+	RateOverrides map[string]admit.Limit
+	// MaxInflight caps concurrently executing search-class requests; the
+	// mutate and admin classes get MaxInflight/4 and /8 (floors of 4 and 2).
+	// Default 256; negative disables the concurrency gates.
+	MaxInflight int
+	// MaxWait is how long a request past the concurrency cap may park
+	// waiting for a slot before it is shed with 503 (default 100ms).
+	MaxWait time.Duration
+	// ReqTimeout is the per-request deadline for search- and mutate-class
+	// routes (admin gets 4x), installed as a context deadline. Default 10s;
+	// negative disables deadlines.
+	ReqTimeout time.Duration
+	// MemBudget is the heap budget in bytes. Above it the server degrades
+	// in stages (shed cache, pause rebuilds, reject ingest) and recovers
+	// automatically. 0 disables the watchdog.
+	MemBudget int64
+	// HeapSample overrides the watchdog's heap sampler (tests inject
+	// pressure here; nil means the Go runtime's live-heap bytes).
+	HeapSample func() uint64
+	// MemCheckInterval is the watchdog sampling period (default 1s).
+	MemCheckInterval time.Duration
+
+	// quiet records that Logf arrived nil, so the request hot path can skip
+	// formatting entirely (rendering varargs for a no-op sink costs several
+	// allocations per request).
+	quiet bool
 }
 
 func (o Options) withDefaults() Options {
@@ -92,6 +131,19 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
+		o.quiet = true
+	}
+	if o.Burst <= 0 {
+		o.Burst = 2 * o.Rate
+	}
+	if o.MaxInflight == 0 {
+		o.MaxInflight = 256
+	}
+	if o.MaxWait <= 0 {
+		o.MaxWait = 100 * time.Millisecond
+	}
+	if o.ReqTimeout == 0 {
+		o.ReqTimeout = 10 * time.Second
 	}
 	if o.DisableMetrics {
 		o.Metrics = nil
@@ -109,6 +161,7 @@ type Server struct {
 	cache     *searchCache
 	pool      *ingestPool
 	rebuilder *rebuilder
+	admit     *admission     // nil when every admission control is disabled
 	metrics   *serverMetrics // nil when metrics are disabled
 	handler   http.Handler
 	started   time.Time
@@ -127,11 +180,14 @@ func New(lib *classminer.Library, opts Options) *Server {
 	}
 	s.rebuilder = newRebuilder(lib, opts.RebuildBudget, opts.RebuildDebounce, opts.Logf)
 	s.pool = newIngestPool(opts.Workers, opts.QueueDepth, s.runJob)
+	// Admission comes after cache and rebuilder: the watchdog's degrade
+	// callback manipulates both and may fire as soon as sampling starts.
+	s.admit = newAdmission(opts, s.applyDegrade)
 	if opts.Metrics != nil {
 		s.metrics = newServerMetrics(opts.Metrics, s)
 		lib.Instrument(opts.Metrics)
 	}
-	s.handler = s.withRecovery(s.withLogging(s.withAuth(http.HandlerFunc(s.route))))
+	s.handler = s.withRecovery(s.withLogging(s.withAuth(s.withAdmit(http.HandlerFunc(s.route)))))
 	return s
 }
 
@@ -142,10 +198,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 // Close stops accepting ingest jobs, waits for running ones to finish, and
-// stops the background rebuilder.
+// stops the background rebuilder and memory watchdog.
 func (s *Server) Close() {
 	s.pool.Close()
 	s.rebuilder.Close()
+	s.admit.Close()
 }
 
 // route dispatches by hand: the declared module version predates pattern
