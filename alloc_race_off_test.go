@@ -1,0 +1,8 @@
+//go:build !race
+
+package classminer_test
+
+// raceDetectorOn mirrors the package classminer raceEnabled constant for the
+// external test package: alloc-count assertions are skipped under the race
+// detector (instrumentation and sync.Pool behave differently there by design).
+const raceDetectorOn = false

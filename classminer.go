@@ -22,6 +22,7 @@
 package classminer
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -38,6 +39,7 @@ import (
 	"classminer/internal/metrics"
 	"classminer/internal/skim"
 	"classminer/internal/store"
+	"classminer/internal/trace"
 	"classminer/internal/vidmodel"
 	"classminer/internal/wal"
 )
@@ -319,6 +321,13 @@ func (l *Library) checkSubcluster(name string) error {
 // subcluster concept ("medicine", "nursing", "dentistry"). The index is
 // invalidated; call BuildIndex after the last AddVideo.
 func (l *Library) AddVideo(v *Video, subcluster string) (*Result, error) {
+	return l.AddVideoCtx(context.Background(), v, subcluster)
+}
+
+// AddVideoCtx is AddVideo with tracing: when ctx carries a trace span
+// (a traced ingest job), the mining, journaling, and install stages each
+// record child spans.
+func (l *Library) AddVideoCtx(ctx context.Context, v *Video, subcluster string) (*Result, error) {
 	if err := l.checkSubcluster(subcluster); err != nil {
 		return nil, err
 	}
@@ -330,24 +339,31 @@ func (l *Library) AddVideo(v *Video, subcluster string) (*Result, error) {
 	}
 	// Mining runs outside the lock: it is the slow part and touches no
 	// shared state.
+	sp := trace.StartSpan(ctx, "mine")
 	res, err := l.analyzer.Analyze(v)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	return res, l.register(v.Name, res, subcluster)
+	return res, l.register(ctx, v.Name, res, subcluster)
 }
 
 // AddResult registers an already-mined result (e.g. loaded from a snapshot
 // or produced by a remote miner) under the given subcluster concept. Like
 // AddVideo it leaves the index stale; call BuildIndex afterwards.
 func (l *Library) AddResult(res *Result, subcluster string) error {
+	return l.AddResultCtx(context.Background(), res, subcluster)
+}
+
+// AddResultCtx is AddResult with tracing (see AddVideoCtx).
+func (l *Library) AddResultCtx(ctx context.Context, res *Result, subcluster string) error {
 	if res == nil || res.Video == nil {
 		return fmt.Errorf("classminer: nil result")
 	}
 	if err := l.checkSubcluster(subcluster); err != nil {
 		return err
 	}
-	return l.register(res.Video.Name, res, subcluster)
+	return l.register(ctx, res.Video.Name, res, subcluster)
 }
 
 // register installs a mined result under the lock (via installLocked),
@@ -369,36 +385,51 @@ func (l *Library) AddResult(res *Result, subcluster string) error {
 // what the log (which clawed the record back) will replay. Replace and
 // DeleteVideo keep their synchronous shape (stage, wait, then apply under
 // the lock) — they still coalesce into whatever batch is in flight.
-func (l *Library) register(name string, res *Result, subcluster string) error {
+func (l *Library) register(ctx context.Context, name string, res *Result, subcluster string) error {
+	sp := trace.StartSpan(ctx, "register")
+	defer sp.End()
+	if sp != nil {
+		// Nest the encode/install/WAL child spans under "register" rather
+		// than the caller's span; the WithValue costs nothing untraced.
+		ctx = trace.With(ctx, sp)
+	}
 	// Encode the journal record outside the write lock: serialising a
 	// large mined result is the slow part and needs no library state.
+	enc := sp.Start("encode")
 	rec, err := l.encodeJournalRecord(wal.RecordRegister, name, res, subcluster)
 	if err != nil {
+		enc.End()
 		return err
 	}
 	// Deriving the index entries needs no library state; do it outside the
 	// write lock so concurrent registrations overlap the work instead of
 	// queueing it behind one another.
 	newEntries := res.IndexEntries(subcluster)
+	enc.End()
+	inst := sp.Start("install") // includes the write-lock wait
 	l.mu.Lock()
 	if _, dup := l.videos[name]; dup {
 		l.mu.Unlock()
+		inst.End()
 		return fmt.Errorf("%w: %q", ErrDuplicateVideo, name)
 	}
 	dim, err := l.checkEntryDims(name, newEntries, l.featDim)
 	if err != nil {
 		l.mu.Unlock()
+		inst.End()
 		return err
 	}
 	if rec == nil || l.journal == nil {
 		l.installLocked(name, res, subcluster, newEntries, dim)
 		l.met.registrations.Inc()
 		l.mu.Unlock()
+		inst.End()
 		return nil
 	}
 	c, err := l.journal.Begin(rec)
 	if err != nil {
 		l.mu.Unlock()
+		inst.End()
 		return fmt.Errorf("classminer: journaling %q: %w", name, err)
 	}
 	l.setLogSizeLocked(name, int64(len(rec))+wal.FrameOverhead)
@@ -409,8 +440,9 @@ func (l *Library) register(name string, res *Result, subcluster string) error {
 	}
 	l.pendingAck[name] = c
 	l.mu.Unlock()
+	inst.End()
 
-	if err := c.Wait(); err != nil {
+	if err := c.WaitCtx(ctx); err != nil {
 		l.undoUnacked(name, ve)
 		return fmt.Errorf("classminer: journaling %q: %w", name, err)
 	}
@@ -447,7 +479,12 @@ func (l *Library) undoUnacked(name string, ve *VideoEntry) {
 // check, when non-nil, runs on the existing entry under the write lock and
 // can veto the replacement before anything is logged (the policy gate of
 // ReplaceResultAs/ReplaceVideoAs).
-func (l *Library) replace(name string, res *Result, subcluster string, check func(*VideoEntry) error) error {
+func (l *Library) replace(ctx context.Context, name string, res *Result, subcluster string, check func(*VideoEntry) error) error {
+	sp := trace.StartSpan(ctx, "replace")
+	defer sp.End()
+	if sp != nil {
+		ctx = trace.With(ctx, sp) // nest the wal.append span under "replace"
+	}
 	rec, err := l.encodeJournalRecord(wal.RecordReplace, name, res, subcluster)
 	if err != nil {
 		return err
@@ -473,7 +510,7 @@ func (l *Library) replace(name string, res *Result, subcluster string, check fun
 		return err
 	}
 	if rec != nil && l.journal != nil {
-		if err := l.journal.Append(rec); err != nil {
+		if err := l.journal.AppendCtx(ctx, rec); err != nil {
 			return fmt.Errorf("classminer: journaling replacement of %q: %w", name, err)
 		}
 	}
@@ -714,7 +751,7 @@ func (l *Library) encodeTombstone(name string) ([]byte, error) {
 // a crash — and the superseded registration's log footprint is reported to
 // the engine, feeding the sealed-segment compaction trigger.
 func (l *Library) DeleteVideo(name string) error {
-	return l.deleteVideo(name, nil)
+	return l.deleteVideo(context.Background(), name, nil)
 }
 
 // DeleteVideoAs is DeleteVideo gated by the library's access policy: the
@@ -724,13 +761,24 @@ func (l *Library) DeleteVideo(name string) error {
 // check and the delete. It returns an error wrapping ErrForbidden when
 // policy denies the user.
 func (l *Library) DeleteVideoAs(u User, name string) error {
-	return l.deleteVideo(name, l.visibleTo(u))
+	return l.deleteVideo(context.Background(), name, l.visibleTo(u))
+}
+
+// DeleteVideoAsCtx is DeleteVideoAs with tracing: a traced request records
+// the delete and its WAL tombstone append as child spans.
+func (l *Library) DeleteVideoAsCtx(ctx context.Context, u User, name string) error {
+	return l.deleteVideo(ctx, name, l.visibleTo(u))
 }
 
 // deleteVideo journals and applies a tombstone; check, when non-nil, runs
 // on the entry under the write lock and can veto the delete before
 // anything is logged.
-func (l *Library) deleteVideo(name string, check func(*VideoEntry) error) error {
+func (l *Library) deleteVideo(ctx context.Context, name string, check func(*VideoEntry) error) error {
+	sp := trace.StartSpan(ctx, "delete")
+	defer sp.End()
+	if sp != nil {
+		ctx = trace.With(ctx, sp) // nest the wal.append span under "delete"
+	}
 	rec, err := l.encodeTombstone(name)
 	if err != nil {
 		return err
@@ -747,7 +795,7 @@ func (l *Library) deleteVideo(name string, check func(*VideoEntry) error) error 
 		}
 	}
 	if rec != nil && l.journal != nil {
-		if err := l.journal.Append(rec); err != nil {
+		if err := l.journal.AppendCtx(ctx, rec); err != nil {
 			return fmt.Errorf("classminer: journaling tombstone for %q: %w", name, err)
 		}
 	}
@@ -769,7 +817,7 @@ func (l *Library) ReplaceResult(res *Result, subcluster string) error {
 	if err := l.checkSubcluster(subcluster); err != nil {
 		return err
 	}
-	return l.replace(res.Video.Name, res, subcluster, nil)
+	return l.replace(context.Background(), res.Video.Name, res, subcluster, nil)
 }
 
 // ReplaceResultAs is ReplaceResult gated by the library's access policy:
@@ -778,13 +826,18 @@ func (l *Library) ReplaceResult(res *Result, subcluster string) error {
 // subcluster, checked atomically with the swap (ErrForbidden otherwise).
 // Absent names register fresh with no gate — there is nothing to destroy.
 func (l *Library) ReplaceResultAs(u User, res *Result, subcluster string) error {
+	return l.ReplaceResultAsCtx(context.Background(), u, res, subcluster)
+}
+
+// ReplaceResultAsCtx is ReplaceResultAs with tracing (see AddVideoCtx).
+func (l *Library) ReplaceResultAsCtx(ctx context.Context, u User, res *Result, subcluster string) error {
 	if res == nil || res.Video == nil {
 		return fmt.Errorf("classminer: nil result")
 	}
 	if err := l.checkSubcluster(subcluster); err != nil {
 		return err
 	}
-	return l.replace(res.Video.Name, res, subcluster, l.visibleTo(u))
+	return l.replace(ctx, res.Video.Name, res, subcluster, l.visibleTo(u))
 }
 
 // ReplaceVideo mines a video and installs it under its name, superseding
@@ -797,20 +850,27 @@ func (l *Library) ReplaceVideo(v *Video, subcluster string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return res, l.replace(v.Name, res, subcluster, nil)
+	return res, l.replace(context.Background(), v.Name, res, subcluster, nil)
 }
 
 // ReplaceVideoAs is ReplaceVideo with ReplaceResultAs's atomic policy gate
 // on the existing registration.
 func (l *Library) ReplaceVideoAs(u User, v *Video, subcluster string) (*Result, error) {
+	return l.ReplaceVideoAsCtx(context.Background(), u, v, subcluster)
+}
+
+// ReplaceVideoAsCtx is ReplaceVideoAs with tracing (see AddVideoCtx).
+func (l *Library) ReplaceVideoAsCtx(ctx context.Context, u User, v *Video, subcluster string) (*Result, error) {
 	if err := l.checkSubcluster(subcluster); err != nil {
 		return nil, err
 	}
+	sp := trace.StartSpan(ctx, "mine")
 	res, err := l.analyzer.Analyze(v)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	return res, l.replace(v.Name, res, subcluster, l.visibleTo(u))
+	return res, l.replace(ctx, v.Name, res, subcluster, l.visibleTo(u))
 }
 
 // BuildIndex (re)builds the hierarchical index over all registered videos
@@ -825,6 +885,16 @@ func (l *Library) ReplaceVideoAs(u User, v *Video, subcluster string) (*Result, 
 // retries. Concurrent builds are safe: an older fit never overwrites a
 // newer one.
 func (l *Library) BuildIndex() error {
+	return l.BuildIndexCtx(context.Background())
+}
+
+// BuildIndexCtx is BuildIndex with tracing: when ctx carries a trace span
+// (the rebuilder traces every rebuild), the out-of-lock matrix fit and the
+// under-lock catch-up-and-swap each record a child span — the split that
+// matters when a rebuild stalls queries (only "swap" runs under the write
+// lock).
+func (l *Library) BuildIndexCtx(ctx context.Context) error {
+	sp := trace.SpanFrom(ctx)
 	l.mu.RLock()
 	entries := l.entries[:len(l.entries):len(l.entries)]
 	// Snapshot the precomputed feature matrix alongside: the capacity-capped
@@ -839,10 +909,15 @@ func (l *Library) BuildIndex() error {
 	if len(entries) == 0 {
 		return fmt.Errorf("classminer: no videos registered")
 	}
+	fit := sp.Start("fit")
+	fit.SetInt("entries", int64(len(entries)))
 	ix, err := index.BuildMatrix(entries, feats, index.Options{})
+	fit.End()
 	if err != nil {
 		return err
 	}
+	swap := sp.Start("swap") // includes the write-lock wait
+	defer swap.End()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if ver < l.ixFitVer {
@@ -1021,13 +1096,26 @@ func (l *Library) Search(u User, query []float64, k int) ([]SearchHit, SearchSta
 // buffer — the serving layer pools them per request — makes the whole
 // query path allocation-free. The returned slice aliases dst.
 func (l *Library) SearchInto(dst []SearchHit, u User, query []float64, k int) ([]SearchHit, SearchStats, error) {
+	return l.SearchIntoCtx(context.Background(), dst, u, query, k)
+}
+
+// SearchIntoCtx is SearchInto with tracing: when ctx carries a trace span,
+// the index stages (project/scan/rank — see Index.SearchIntoSpans) and the
+// policy filter record child spans under one "search" span. Untraced and
+// unsampled callers pay nothing — the span lookup on a bare context is a
+// nil value read, keeping the zero-alloc query contract.
+func (l *Library) SearchIntoCtx(ctx context.Context, dst []SearchHit, u User, query []float64, k int) ([]SearchHit, SearchStats, error) {
+	sp := trace.StartSpan(ctx, "search")
+	defer sp.End()
 	l.mu.RLock()
 	defer l.mu.RUnlock()
 	if l.ix == nil {
 		return nil, SearchStats{}, fmt.Errorf("classminer: index not built (call BuildIndex)")
 	}
-	hits, stats := l.ix.SearchInto(dst, query, k)
+	hits, stats := l.ix.SearchIntoSpans(dst, query, k, sp)
+	fsp := sp.Start("filter")
 	hits = access.FilterInPlace(l.policy, u, hits, func(h SearchHit) []string { return h.Entry.Path })
+	fsp.End()
 	return hits, stats, nil
 }
 
@@ -1210,11 +1298,11 @@ func Recover(dir string, a *Analyzer, opts DurableOptions) (*Library, error) {
 		}
 		name := res.Video.Name
 		if rec.Type == wal.RecordReplace {
-			if err := l.replace(name, res, sv.Subcluster, nil); err != nil {
+			if err := l.replace(context.Background(), name, res, sv.Subcluster, nil); err != nil {
 				return err
 			}
 		} else {
-			err := l.register(name, res, sv.Subcluster)
+			err := l.register(context.Background(), name, res, sv.Subcluster)
 			if err != nil && !errors.Is(err, ErrDuplicateVideo) {
 				// A duplicate straddles the last checkpoint: it is both in
 				// the snapshot and on the log tail, and the snapshot copy
@@ -1275,7 +1363,7 @@ func (l *Library) ImportSnapshot(r io.Reader, skipExisting bool) (int, error) {
 		if err := l.checkSubcluster(sv.Subcluster); err != nil {
 			return n, err
 		}
-		if err := l.register(res.Video.Name, res, sv.Subcluster); err != nil {
+		if err := l.register(context.Background(), res.Video.Name, res, sv.Subcluster); err != nil {
 			return n, err
 		}
 		n++

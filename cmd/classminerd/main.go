@@ -120,6 +120,11 @@ type config struct {
 	reqTimeout  time.Duration
 	memBudget   int64
 
+	// request tracing
+	traceSample float64
+	traceSlow   time.Duration
+	traceRing   int
+
 	// durable-mode tuning (only read when dataDir is set)
 	fsync        string
 	fsyncEvery   time.Duration
@@ -154,6 +159,9 @@ func main() {
 	flag.IntVar(&cfg.maxInflight, "max-inflight", 256, "concurrent search requests admitted; mutations and admin get narrower slices (negative disables)")
 	flag.DurationVar(&cfg.reqTimeout, "req-timeout", 10*time.Second, "per-request deadline for search and mutation handlers; admin gets 4x (negative disables)")
 	flag.Int64Var(&cfg.memBudget, "mem-budget", 0, "heap budget in bytes; over it the server degrades in stages — shed cache, pause rebuilds, reject ingest (0 disables)")
+	flag.Float64Var(&cfg.traceSample, "trace-sample", 0, "fraction of requests traced end to end regardless of outcome (slow and 5xx requests are always kept)")
+	flag.DurationVar(&cfg.traceSlow, "trace-slow", 500*time.Millisecond, "keep the trace of any request at least this slow (0 keeps every trace)")
+	flag.IntVar(&cfg.traceRing, "trace-ring", 256, "recent traces retained for GET /debug/traces")
 	flag.StringVar(&cfg.fsync, "fsync", "always", "WAL fsync policy: always, interval or off")
 	flag.DurationVar(&cfg.fsyncEvery, "fsync-interval", 100*time.Millisecond, "background fsync period under -fsync=interval")
 	flag.Int64Var(&cfg.segBytes, "segment-bytes", 4<<20, "WAL segment rotation size")
@@ -224,7 +232,15 @@ func run(cfg config) error {
 		MaxInflight:     cfg.maxInflight,
 		ReqTimeout:      cfg.reqTimeout,
 		MemBudget:       cfg.memBudget,
+		TraceSample:     cfg.traceSample,
+		TraceSlow:       cfg.traceSlow,
+		TraceRing:       cfg.traceRing,
 		Logf:            logger.Printf,
+	}
+	if cfg.traceSlow == 0 {
+		// The flag's "0 keeps every trace" spelling maps to the Options'
+		// negative spelling (Options zero means "use the default").
+		opts.TraceSlow = -1
 	}
 	if cfg.anon != "" && cfg.anon != "none" {
 		clearance, err := access.ParseClearance(cfg.anon)

@@ -23,6 +23,7 @@ import (
 	"sync/atomic"
 
 	"classminer/internal/mat"
+	"classminer/internal/trace"
 	"classminer/internal/vidmodel"
 )
 
@@ -437,6 +438,16 @@ func (ix *Index) Search(query []float64, k int) ([]Result, Stats) {
 // capacity is insufficient, so a reused buffer makes steady-state searches
 // allocation-free). The returned slice aliases dst.
 func (ix *Index) SearchInto(dst []Result, query []float64, k int) ([]Result, Stats) {
+	return ix.SearchIntoSpans(dst, query, k, nil)
+}
+
+// SearchIntoSpans is SearchInto with per-stage tracing: when sp is a live
+// span, the hierarchical descent ("project" — the per-level subspace
+// projections), candidate gathering ("scan") and ranking ("rank") each
+// record a child span. A nil sp (the untraced and unsampled paths) costs
+// nothing — spans come from the trace's pooled arena, so the zero-alloc
+// search contract holds either way.
+func (ix *Index) SearchIntoSpans(dst []Result, query []float64, k int, sp *trace.Span) ([]Result, Stats) {
 	var stats Stats
 	if k <= 0 {
 		k = 1
@@ -447,16 +458,24 @@ func (ix *Index) SearchInto(dst []Result, query []float64, k int) ([]Result, Sta
 		// this scratch was created may have outgrown its bitset.
 		sc.seen = make([]uint64, ix.seenWords)
 	}
+	stage := sp.Start("project")
 	ix.descend(ix.root, query, sc, &stats)
+	stage.End()
 	// leafCandidates falls back to the whole leaf when the hash is
 	// exhausted, so sc.cands misses a live entry of a visited leaf only
 	// when k is already satisfied nearer. It can be empty outright when
 	// removals masked every entry of every visited leaf — rank then
 	// returns no hits.
+	stage = sp.Start("scan")
 	for _, leaf := range sc.leaves {
 		ix.leafCandidates(leaf, query, k, sc)
 	}
+	stage.SetInt("leaves", int64(len(sc.leaves)))
+	stage.SetInt("candidates", int64(len(sc.cands)))
+	stage.End()
+	stage = sp.Start("rank")
 	dst = ix.rank(dst, sc.leaves[0], query, k, sc, &stats)
+	stage.End()
 	for _, c := range sc.cands {
 		sc.seen[c.id>>6] = 0
 	}

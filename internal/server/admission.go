@@ -10,6 +10,7 @@ import (
 
 	"classminer/internal/access"
 	"classminer/internal/admit"
+	"classminer/internal/trace"
 )
 
 // rejectReason indexes the admission-rejection counters (and the `reason`
@@ -152,7 +153,7 @@ func routeClass(method, path string) (class admit.Class, exempt bool) {
 	}
 	switch {
 	case strings.HasPrefix(path, "/v1/admin/"), path == "/debug/pprof",
-		strings.HasPrefix(path, "/debug/pprof/"):
+		strings.HasPrefix(path, "/debug/pprof/"), path == "/debug/traces":
 		return admit.ClassAdmin, false
 	case path == "/v1/videos" && method == http.MethodPost:
 		return admit.ClassMutate, false
@@ -178,10 +179,14 @@ func (s *Server) withAdmit(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 			return
 		}
+		// The admit span covers the rate-limit check and any time parked at
+		// the concurrency gate — the queueing delay a slow trace must show.
+		sp := trace.StartSpan(r.Context(), "admit")
 		if a.limiter != nil {
 			tok := token(r)
 			d := a.limiter.Allow(tok, a.limitFor(tok, userOf(r).Clearance))
 			if !d.OK {
+				sp.End()
 				a.countReject(rejRateLimit)
 				writeRateLimited(w, d)
 				return
@@ -191,8 +196,10 @@ func (s *Server) withAdmit(next http.Handler) http.Handler {
 			waited, err := g.Acquire(r.Context())
 			if waited > 0 {
 				s.metrics.observeAdmitWait(waited)
+				sp.SetInt("waitedUs", waited.Microseconds())
 			}
 			if err != nil {
+				sp.End()
 				a.countReject(rejConcurrency)
 				// The queue rejected in bounded time; a second is a sane
 				// lower bound for when a slot might free up.
@@ -203,6 +210,7 @@ func (s *Server) withAdmit(next http.Handler) http.Handler {
 			}
 			defer g.Release()
 		}
+		sp.End()
 		if to := a.timeouts[class]; to > 0 {
 			ctx, cancel := context.WithTimeout(r.Context(), to)
 			defer cancel()

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -21,6 +22,7 @@ import (
 	"classminer/internal/metrics"
 	"classminer/internal/store"
 	"classminer/internal/synth"
+	"classminer/internal/trace"
 	"classminer/internal/vidmodel"
 )
 
@@ -62,7 +64,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 // --- GET /v1/stats ---------------------------------------------------------
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	stats := map[string]any{
 		"library":   s.lib.Stats(),
 		"cache":     s.cache.Stats(),
 		"ingest":    s.pool.Stats(s.opts.Workers),
@@ -71,7 +73,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"process":   processInfo(),
 		"uptimeSec": time.Since(s.started).Seconds(),
 		"requests":  s.requests.Load(),
-	})
+	}
+	if s.tracer != nil {
+		// Exemplars point from the aggregate stats back into the trace ring:
+		// the last kept trace per route, by id.
+		stats["traces"] = map[string]any{
+			"stats":     s.tracer.Stats(),
+			"exemplars": s.tracer.Exemplars(),
+		}
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 // buildIdentity extracts the VCS stamp once: debug.ReadBuildInfo walks the
@@ -298,7 +309,7 @@ func (s *Server) handleDeleteVideo(w http.ResponseWriter, r *http.Request, name 
 	if !s.requireClearance(w, r, s.opts.IngestClearance) {
 		return
 	}
-	if err := s.lib.DeleteVideoAs(userOf(r), name); err != nil {
+	if err := s.lib.DeleteVideoAsCtx(r.Context(), userOf(r), name); err != nil {
 		switch {
 		case errors.Is(err, classminer.ErrUnknownVideo):
 			writeError(w, http.StatusNotFound, fmt.Sprintf("no video %q", name))
@@ -427,14 +438,21 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &req) {
 		return
 	}
+	sp := trace.SpanFrom(r.Context())
 	u := userOf(r)
+	rq := sp.Start("resolve")
 	query, ok := s.resolveQuery(w, u, req)
+	rq.End()
 	if !ok {
 		return
 	}
 	k := clampK(req.K)
 	key := makeKey(s.lib.Generation(), u, query, k)
-	if resp, ok := s.cache.Get(key, query); ok {
+	cg := sp.Start("cache.get")
+	resp, hit := s.cache.Get(key, query)
+	cg.End()
+	if hit {
+		sp.SetAttr("cache", "hit")
 		resp.Cached = true
 		writeJSON(w, http.StatusOK, resp)
 		return
@@ -443,7 +461,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	scratch := hitsPool.Get().(*[]classminer.SearchHit)
-	hits, stats, err := s.lib.SearchInto((*scratch)[:0], u, query, k)
+	hits, stats, err := s.lib.SearchIntoCtx(r.Context(), (*scratch)[:0], u, query, k)
 	if err != nil {
 		hitsPool.Put(scratch)
 		writeError(w, http.StatusServiceUnavailable, err.Error())
@@ -453,10 +471,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		hitsPool.Put(scratch)
 		return
 	}
-	resp := buildSearchResponse(hits, stats, k)
+	resp = buildSearchResponse(hits, stats, k)
 	*scratch = hits[:0]
 	hitsPool.Put(scratch)
+	cp := sp.Start("cache.put")
 	s.cache.Put(key, query, resp)
+	cp.End()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -714,7 +734,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.deadlineExpired(w, r) {
 		return
 	}
-	job := &Job{Video: name, Subcluster: req.Subcluster, req: req, user: u}
+	job := &Job{Video: name, Subcluster: req.Subcluster, RequestID: requestID(r), req: req, user: u}
 	if err := s.pool.Submit(job); err != nil {
 		if errors.Is(err, ErrQueueFull) && s.metrics != nil {
 			s.metrics.ingestRejected.Inc()
@@ -722,7 +742,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 		return
 	}
-	s.opts.Logf("job %s: queued ingest of %q into %q", job.ID, name, req.Subcluster)
+	s.opts.Logf("job %s: queued ingest of %q into %q rid=%s", job.ID, name, req.Subcluster, job.RequestID)
 	w.Header().Set("Location", "/v1/jobs/"+job.ID)
 	writeJSON(w, http.StatusAccepted, s.pool.Get(job.ID))
 }
@@ -735,6 +755,18 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // incremental path could not absorb) builds synchronously — single-flight,
 // so a burst of first ingests shares one build.
 func (s *Server) runJob(j *Job) {
+	// The originating request's context is long dead by the time a worker
+	// picks the job up, so the job runs under its own trace, correlated back
+	// to the submission through the request id it carries. Job traces go
+	// through the same tail sampler as requests: a failed job is always kept.
+	var sid [8]byte
+	trace.PutUint64(sid[:], trace.RandU64())
+	tr, root := s.tracer.StartTrace("job", sid, "")
+	root.SetAttr("video", j.Video)
+	ctx := context.Background()
+	if root != nil {
+		ctx = trace.With(ctx, root)
+	}
 	err := func() error {
 		if j.req.Saved != nil {
 			res, err := store.DecodeResult(j.req.Saved)
@@ -743,9 +775,9 @@ func (s *Server) runJob(j *Job) {
 			}
 			res.Video.Name = j.Video
 			if j.req.Replace {
-				return s.lib.ReplaceResultAs(j.user, res, j.Subcluster)
+				return s.lib.ReplaceResultAsCtx(ctx, j.user, res, j.Subcluster)
 			}
-			return s.lib.AddResult(res, j.Subcluster)
+			return s.lib.AddResultCtx(ctx, res, j.Subcluster)
 		}
 		scale := j.req.Scale
 		if scale <= 0 {
@@ -765,9 +797,9 @@ func (s *Server) runJob(j *Job) {
 		}
 		v.Name = j.Video
 		if j.req.Replace {
-			_, err = s.lib.ReplaceVideoAs(j.user, v, j.Subcluster)
+			_, err = s.lib.ReplaceVideoAsCtx(ctx, j.user, v, j.Subcluster)
 		} else {
-			_, err = s.lib.AddVideo(v, j.Subcluster)
+			_, err = s.lib.AddVideoCtx(ctx, v, j.Subcluster)
 		}
 		return err
 	}()
@@ -778,12 +810,17 @@ func (s *Server) runJob(j *Job) {
 			s.rebuilder.Kick()
 		}
 	}
+	meta := trace.Meta{Route: "job", RequestID: j.RequestID}
 	if err != nil {
-		s.opts.Logf("job %s: failed: %v", j.ID, err)
+		meta.Err = err.Error()
+	}
+	s.tracer.Finish(tr, meta)
+	if err != nil {
+		s.opts.Logf("job %s: failed: %v rid=%s", j.ID, err, j.RequestID)
 		s.pool.Fail(j, err)
 		return
 	}
-	s.opts.Logf("job %s: ingested %q into %q", j.ID, j.Video, j.Subcluster)
+	s.opts.Logf("job %s: ingested %q into %q rid=%s", j.ID, j.Video, j.Subcluster, j.RequestID)
 }
 
 // --- GET /v1/jobs/{id} -----------------------------------------------------

@@ -26,6 +26,7 @@ var routeTemplates = []string{
 	"/v1/admin/compact",
 	"/metrics",
 	"/debug/pprof",
+	"/debug/traces",
 	"other",
 }
 
@@ -36,7 +37,8 @@ func routeTemplate(path string) string {
 	path = strings.TrimSuffix(path, "/")
 	switch path {
 	case "/healthz", "/v1/stats", "/v1/videos", "/v1/search", "/v1/search/batch",
-		"/v1/admin/save", "/v1/admin/checkpoint", "/v1/admin/compact", "/metrics":
+		"/v1/admin/save", "/v1/admin/checkpoint", "/v1/admin/compact", "/metrics",
+		"/debug/traces":
 		return path
 	}
 	switch {
@@ -73,6 +75,7 @@ type serverMetrics struct {
 	byRoute        map[string]*routeMetrics
 	ingestRejected *metrics.Counter
 	admitWait      *metrics.Histogram
+	panics         *metrics.Counter
 }
 
 // newServerMetrics registers every server-layer series on reg: per-route
@@ -96,6 +99,17 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 	}
 	m.ingestRejected = reg.Counter("ingest_rejected_total",
 		"Ingest submissions rejected because the queue was full.")
+	m.panics = reg.Counter("http_panics_total",
+		"Handler panics recovered by the server.")
+
+	// Request tracing. Started/kept live in the tracer (so /v1/stats works
+	// with metrics disabled); the registry mirrors them at scrape time. Both
+	// funcs are nil-safe when tracing is disabled.
+	reg.CounterFunc("traces_started_total", "Request traces started.",
+		func() float64 { return float64(s.tracer.Started()) })
+	reg.CounterFunc("traces_kept_total",
+		"Request traces kept by head sampling or the slow/error tail sampler.",
+		func() float64 { return float64(s.tracer.Kept()) })
 
 	// Admission control. The rejection counters live in the admission
 	// struct (so /v1/stats works with metrics disabled); the registry
@@ -152,6 +166,14 @@ func newServerMetrics(reg *metrics.Registry, s *Server) *serverMetrics {
 
 	metrics.RegisterGoMetrics(reg)
 	return m
+}
+
+// countPanic bumps http_panics_total. Nil-safe so the recovery middleware
+// needs no disabled-metrics branch.
+func (m *serverMetrics) countPanic() {
+	if m != nil {
+		m.panics.Inc()
+	}
 }
 
 // observeAdmitWait records time spent parked at a concurrency gate.

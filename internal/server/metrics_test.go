@@ -228,11 +228,11 @@ func TestHealthzCountedNotLogged(t *testing.T) {
 	}
 }
 
-// TestStatusWriterFlushAndBytes: the logging wrapper must pass Flush through
-// to streaming handlers and count body bytes.
+// TestStatusWriterFlushAndBytes: the recording wrapper must pass Flush
+// through to streaming handlers and count body bytes.
 func TestStatusWriterFlushAndBytes(t *testing.T) {
 	rec := httptest.NewRecorder()
-	sw := &statusWriter{ResponseWriter: rec, status: http.StatusOK}
+	sw := &reqState{ResponseWriter: rec, status: http.StatusOK}
 	if n, err := sw.Write([]byte("hello ")); n != 6 || err != nil {
 		t.Fatalf("write = %d, %v", n, err)
 	}

@@ -9,18 +9,24 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
-	"time"
 
 	"classminer/internal/access"
+	"classminer/internal/trace"
 )
 
-// userKey carries the authenticated user through the request context.
+// userKey carries the authenticated user through the request context on the
+// fallback path (handlers driven directly in tests, without withTrace).
 type userKeyT struct{}
 
 var userKey userKeyT
 
-// userOf returns the authenticated user installed by withAuth.
+// userOf returns the authenticated user installed by withAuth. On the
+// serving path the user lives in the pooled reqState — no context value, no
+// interface boxing; the context fallback keeps bare-handler tests working.
 func userOf(r *http.Request) access.User {
+	if rs := stateOf(r); rs != nil {
+		return rs.user
+	}
 	u, _ := r.Context().Value(userKey).(access.User)
 	return u
 }
@@ -37,10 +43,12 @@ func token(r *http.Request) string {
 	return r.Header.Get("X-Api-Token")
 }
 
-// withAuth maps the request token to an access.User and stores it in the
-// context — the paper's multilevel access control as middleware. Every
-// downstream policy check (search filtering, scene queries, admin gates)
-// keys off this identity. /healthz stays open for liveness probes.
+// withAuth maps the request token to an access.User — the paper's
+// multilevel access control as middleware. Every downstream policy check
+// (search filtering, scene queries, admin gates) keys off this identity,
+// read back through userOf. The resolved user is written into the request's
+// pooled reqState; only when the chain runs without withTrace does it fall
+// back to a context value. /healthz stays open for liveness probes.
 func (s *Server) withAuth(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		// Match the route normalisation ("/healthz/" serves health too) so
@@ -49,21 +57,30 @@ func (s *Server) withAuth(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 			return
 		}
+		sp := trace.StartSpan(r.Context(), "auth")
 		tok := token(r)
 		var u access.User
 		switch {
 		case tok == "" && s.opts.Anonymous != nil:
 			u = *s.opts.Anonymous
 		case tok == "":
+			sp.End()
 			writeError(w, http.StatusUnauthorized, "credentials required (Bearer token or X-Api-Token)")
 			return
 		default:
 			known, ok := s.opts.Tokens[tok]
 			if !ok {
+				sp.End()
 				writeError(w, http.StatusUnauthorized, "unknown token")
 				return
 			}
 			u = known
+		}
+		sp.End()
+		if rs, ok := w.(*reqState); ok {
+			rs.user = u
+			next.ServeHTTP(w, r)
+			return
 		}
 		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), userKey, u)))
 	})
@@ -81,66 +98,26 @@ func (s *Server) requireClearance(w http.ResponseWriter, r *http.Request, min ac
 	return true
 }
 
-// statusWriter records the response code and body size for the request log
-// and the per-route metrics.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-	bytes  int64
-}
-
-func (sw *statusWriter) WriteHeader(code int) {
-	sw.status = code
-	sw.ResponseWriter.WriteHeader(code)
-}
-
-func (sw *statusWriter) Write(p []byte) (int, error) {
-	n, err := sw.ResponseWriter.Write(p)
-	sw.bytes += int64(n)
-	return n, err
-}
-
-// Flush forwards to the underlying writer so streaming responses (pprof
-// profiles, long listings behind a real http.Server) can flush through the
-// logging wrapper instead of buffering to completion.
-func (sw *statusWriter) Flush() {
-	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
-		f.Flush()
-	}
-}
-
-// withLogging emits one line per request and feeds the per-route metrics.
-// /healthz is counted but not logged: liveness probes arrive every few
-// seconds and would otherwise dominate the request log.
-func (s *Server) withLogging(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		start := time.Now()
-		next.ServeHTTP(sw, r)
-		elapsed := time.Since(start)
-		route := routeTemplate(r.URL.Path)
-		s.metrics.observe(route, sw.status, sw.bytes, elapsed)
-		if route == "/healthz" || s.opts.quiet {
-			// With no log sink, skip the call entirely: rendering the
-			// varargs (boxing the status and duration, heap-copying the
-			// string headers) costs several allocations per request that a
-			// no-op Logf would silently throw away.
-			return
-		}
-		// Response size is deliberately not in the line: boxing the int64
-		// for the varargs would cost the hot path an allocation, and
-		// http_response_bytes_total carries it already.
-		s.opts.Logf("%s %s -> %d (%s)", r.Method, r.URL.Path, sw.status, elapsed.Round(time.Microsecond))
-	})
-}
-
 // withRecovery turns a handler panic into a 500 instead of killing the
 // connection (and, under http.Server, spamming the log with a stack only).
+// When the handler had already written part of its response before
+// panicking, writing a second status/body would corrupt what is on the
+// wire, so the recovery leaves the response truncated and only notes the
+// panic — on the reqState, so the trace is kept as an error, and on the
+// http_panics_total counter either way.
 func (s *Server) withRecovery(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if v := recover(); v != nil {
 				s.opts.Logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+				s.metrics.countPanic()
+				rs, ok := w.(*reqState)
+				if ok {
+					rs.err = fmt.Sprintf("panic: %v", v)
+				}
+				if ok && rs.wrote {
+					return // mid-response: the envelope below would double-write
+				}
 				writeError(w, http.StatusInternalServerError, "internal error")
 			}
 		}()

@@ -28,10 +28,14 @@ type Job struct {
 	Status     JobStatus `json:"status"`
 	Video      string    `json:"video,omitempty"`
 	Subcluster string    `json:"subcluster"`
-	Error      string    `json:"error,omitempty"`
-	Created    time.Time `json:"created"`
-	Started    time.Time `json:"started,omitempty"`
-	Finished   time.Time `json:"finished,omitempty"`
+	// RequestID names the request that submitted the job, so a 202's
+	// X-Request-Id correlates with the job record, the worker's log lines,
+	// and the job's own trace.
+	RequestID string    `json:"requestId,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	Created   time.Time `json:"created"`
+	Started   time.Time `json:"started,omitempty"`
+	Finished  time.Time `json:"finished,omitempty"`
 
 	// payload, set by the ingest handler, consumed by Server.runJob.
 	req ingestRequest

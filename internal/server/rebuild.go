@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"classminer"
+	"classminer/internal/trace"
 )
 
 // rebuilder coalesces index rebuilds. The old write path refit the whole
@@ -23,6 +25,7 @@ type rebuilder struct {
 	budget   float64 // staleness fraction that warrants a refit
 	debounce time.Duration
 	logf     func(format string, args ...any)
+	tracer   *trace.Tracer // nil disables rebuild traces
 
 	kick      chan struct{}
 	done      chan struct{}
@@ -46,12 +49,13 @@ type rebuilder struct {
 	coalesced atomic.Int64
 }
 
-func newRebuilder(lib *classminer.Library, budget float64, debounce time.Duration, logf func(string, ...any)) *rebuilder {
+func newRebuilder(lib *classminer.Library, budget float64, debounce time.Duration, logf func(string, ...any), tracer *trace.Tracer) *rebuilder {
 	r := &rebuilder{
 		lib:      lib,
 		budget:   budget,
 		debounce: debounce,
 		logf:     logf,
+		tracer:   tracer,
 		kick:     make(chan struct{}, 1),
 		done:     make(chan struct{}),
 	}
@@ -110,7 +114,23 @@ func (r *rebuilder) rebuildIf(need func() bool) error {
 			return nil
 		}
 		start := time.Now()
-		if err := r.lib.BuildIndex(); err != nil {
+		// Each attempt gets its own trace: a refit has no originating
+		// request, but operators want the same fit/swap breakdown in
+		// /debug/traces that request-driven work gets.
+		var sid [8]byte
+		trace.PutUint64(sid[:], trace.RandU64())
+		tr, root := r.tracer.StartTrace("rebuild", sid, "")
+		ctx := context.Background()
+		if root != nil {
+			ctx = trace.With(ctx, root)
+		}
+		err := r.lib.BuildIndexCtx(ctx)
+		meta := trace.Meta{Route: "rebuild"}
+		if err != nil {
+			meta.Err = err.Error()
+		}
+		r.tracer.Finish(tr, meta)
+		if err != nil {
 			return err
 		}
 		r.rebuilds.Add(1)

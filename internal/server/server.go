@@ -25,6 +25,7 @@ import (
 	"classminer/internal/access"
 	"classminer/internal/admit"
 	"classminer/internal/metrics"
+	"classminer/internal/trace"
 )
 
 // Options configures a Server. The zero value serves anonymously at Public
@@ -104,6 +105,23 @@ type Options struct {
 	// MemCheckInterval is the watchdog sampling period (default 1s).
 	MemCheckInterval time.Duration
 
+	// --- request tracing (see internal/trace and the README's
+	// "Observability" section) ---
+
+	// TraceSample is the head-sampling probability in [0,1]: that fraction
+	// of requests is traced end to end regardless of outcome. Slow and
+	// failed (5xx) requests are always kept independently of it.
+	TraceSample float64
+	// TraceSlow is the tail-sampling threshold: any request at least this
+	// slow keeps its trace. 0 means the default (500ms); negative keeps
+	// every trace (the daemon's `-trace-slow 0` spelling).
+	TraceSlow time.Duration
+	// TraceRing bounds retained traces (default 256).
+	TraceRing int
+	// DisableTracing turns the tracer off entirely; GET /debug/traces then
+	// 404s like an unknown route. X-Request-Id is still assigned.
+	DisableTracing bool
+
 	// quiet records that Logf arrived nil, so the request hot path can skip
 	// formatting entirely (rendering varargs for a no-op sink costs several
 	// allocations per request).
@@ -142,6 +160,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxWait <= 0 {
 		o.MaxWait = 100 * time.Millisecond
 	}
+	if o.TraceSlow == 0 {
+		o.TraceSlow = 500 * time.Millisecond
+	}
+	if o.TraceRing <= 0 {
+		o.TraceRing = 256
+	}
 	if o.ReqTimeout == 0 {
 		o.ReqTimeout = 10 * time.Second
 	}
@@ -163,6 +187,7 @@ type Server struct {
 	rebuilder *rebuilder
 	admit     *admission     // nil when every admission control is disabled
 	metrics   *serverMetrics // nil when metrics are disabled
+	tracer    *trace.Tracer  // nil when tracing is disabled
 	handler   http.Handler
 	started   time.Time
 	requests  atomic.Int64
@@ -178,7 +203,18 @@ func New(lib *classminer.Library, opts Options) *Server {
 		cache:   newSearchCache(opts.CacheSize),
 		started: time.Now(),
 	}
-	s.rebuilder = newRebuilder(lib, opts.RebuildBudget, opts.RebuildDebounce, opts.Logf)
+	if !opts.DisableTracing {
+		slow := opts.TraceSlow
+		if slow < 0 {
+			slow = 0 // the tracer's keep-every-trace spelling
+		}
+		s.tracer = trace.New(trace.Config{
+			Sample: opts.TraceSample,
+			Slow:   slow,
+			Ring:   opts.TraceRing,
+		})
+	}
+	s.rebuilder = newRebuilder(lib, opts.RebuildBudget, opts.RebuildDebounce, opts.Logf, s.tracer)
 	s.pool = newIngestPool(opts.Workers, opts.QueueDepth, s.runJob)
 	// Admission comes after cache and rebuilder: the watchdog's degrade
 	// callback manipulates both and may fire as soon as sampling starts.
@@ -187,7 +223,7 @@ func New(lib *classminer.Library, opts Options) *Server {
 		s.metrics = newServerMetrics(opts.Metrics, s)
 		lib.Instrument(opts.Metrics)
 	}
-	s.handler = s.withRecovery(s.withLogging(s.withAuth(s.withAdmit(http.HandlerFunc(s.route)))))
+	s.handler = s.withTrace(s.withRecovery(s.withAuth(s.withAdmit(http.HandlerFunc(s.route)))))
 	return s
 }
 
@@ -258,6 +294,8 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 		s.get(w, r, s.handleMetrics)
 	case path == "/debug/pprof" || strings.HasPrefix(path, "/debug/pprof/"):
 		s.handlePprof(w, r)
+	case path == "/debug/traces":
+		s.get(w, r, s.handleTraces)
 	default:
 		writeError(w, http.StatusNotFound, fmt.Sprintf("no route %s", r.URL.Path))
 	}

@@ -1,0 +1,212 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"classminer"
+	"classminer/internal/access"
+	"classminer/internal/trace"
+)
+
+// reqState is the per-request bundle: the status/bytes-recording
+// ResponseWriter, the authenticated user, the request id, and the trace.
+// One pooled object carries all of it, and installing it in the context as
+// the trace carrier is the request's single context allocation — withAuth
+// writes the user into the struct instead of a second context value, which
+// is what keeps the serving hot path on its exact allocation budget.
+type reqState struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool // headers (or body) already on the wire; see withRecovery
+
+	user access.User
+	rid  string
+	err  string // panic note for the trace's tail sampler
+
+	tr   *trace.Trace
+	root *trace.Span
+}
+
+// TraceSpan makes reqState the context's trace.Carrier, so downstream
+// library calls resolve the active span with no extra context value.
+func (rs *reqState) TraceSpan() *trace.Span { return rs.root }
+
+func (rs *reqState) WriteHeader(code int) {
+	rs.status = code
+	rs.wrote = true
+	rs.ResponseWriter.WriteHeader(code)
+}
+
+func (rs *reqState) Write(p []byte) (int, error) {
+	rs.wrote = true
+	n, err := rs.ResponseWriter.Write(p)
+	rs.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer so streaming responses (pprof
+// profiles, long listings behind a real http.Server) can flush through the
+// recording wrapper instead of buffering to completion.
+func (rs *reqState) Flush() {
+	if f, ok := rs.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+var reqStatePool = sync.Pool{New: func() any { return new(reqState) }}
+
+// stateOf returns the request's reqState (nil when the request did not pass
+// through withTrace — direct handler tests, mainly).
+func stateOf(r *http.Request) *reqState {
+	rs, _ := trace.CarrierFrom(r.Context()).(*reqState)
+	return rs
+}
+
+// requestID returns the request's id, "" when untraced.
+func requestID(r *http.Request) string {
+	if rs := stateOf(r); rs != nil {
+		return rs.rid
+	}
+	return ""
+}
+
+// withTrace is the outermost middleware: it assigns the request id (echoed
+// as X-Request-Id and doubling as the trace's root span id, so the header
+// always names the trace), starts the span tree, records the response, and
+// on the way out feeds the per-route metrics, the request log, and the
+// tracer's tail sampler. An unsampled fast request costs no heap allocation
+// beyond what the old logging+auth middleware already paid.
+func (s *Server) withTrace(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rs := reqStatePool.Get().(*reqState)
+		*rs = reqState{ResponseWriter: w, status: http.StatusOK}
+		var rid [8]byte
+		trace.PutUint64(rid[:], trace.RandU64())
+		rs.rid = trace.HexString(rid[:])
+		inbound := r.Header.Get("Traceparent")
+		rs.tr, rs.root = s.tracer.StartTrace("request", rid, inbound)
+		h := w.Header()
+		h.Set("X-Request-Id", rs.rid)
+		if rs.tr != nil && (inbound != "" || rs.tr.Sampled()) {
+			// Echo the propagation context only when the caller is part of a
+			// distributed trace (or head sampling fired): the common local
+			// request must not pay for rendering the header.
+			h.Set("Traceparent", rs.tr.Traceparent())
+		}
+		start := time.Now()
+		next.ServeHTTP(rs, r.WithContext(trace.With(r.Context(), rs)))
+		elapsed := time.Since(start)
+		route := routeTemplate(r.URL.Path)
+		s.metrics.observe(route, rs.status, rs.bytes, elapsed)
+		view := s.tracer.Finish(rs.tr, trace.Meta{
+			Route:     route,
+			Method:    r.Method,
+			Status:    rs.status,
+			RequestID: rs.rid,
+			Err:       rs.err,
+		})
+		if route != "/healthz" && !s.opts.quiet {
+			s.opts.Logf("%s %s -> %d (%s) rid=%s",
+				r.Method, r.URL.Path, rs.status, elapsed.Round(time.Microsecond), rs.rid)
+			if view.Tail() {
+				s.logSlow(view)
+			}
+		}
+		*rs = reqState{} // drop the user/trace references before pooling
+		reqStatePool.Put(rs)
+	})
+}
+
+// logSlow emits the structured slow-request line when the tail sampler
+// fired: one line with the identifiers an operator needs to pull the full
+// trace, plus the per-stage breakdown inline.
+func (s *Server) logSlow(v *trace.View) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "slow request rid=%s trace=%s %s %s -> %d in %.1fms reason=%s",
+		v.RequestID, v.TraceID, v.Method, v.Route, v.Status, v.DurationMS, v.Reason)
+	if v.Err != "" {
+		fmt.Fprintf(&b, " err=%q", v.Err)
+	}
+	for i := range v.Spans {
+		sp := &v.Spans[i]
+		if sp.Parent < 0 {
+			continue // the root repeats the totals
+		}
+		fmt.Fprintf(&b, " %s=%dus", sp.Name, sp.DurUS)
+	}
+	s.opts.Logf("%s", b.String())
+}
+
+// --- GET /debug/traces -------------------------------------------------------
+
+// handleTraces serves the trace ring to Administrator-clearance callers.
+// Disabled tracing 404s exactly like an unknown route (traces expose query
+// vectors' shape, routes, and timings — their absence should not advertise
+// the endpoint). Filters: ?route= (template match), ?min_ms= (at least this
+// slow), ?status= (exact code, or a class like "5xx").
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.tracer == nil {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no route %s", r.URL.Path))
+		return
+	}
+	if !s.requireClearance(w, r, classminer.Administrator) {
+		return
+	}
+	q := r.URL.Query()
+	route := q.Get("route")
+	status := q.Get("status")
+	var minMS float64
+	if v := q.Get("min_ms"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "bad min_ms: "+err.Error())
+			return
+		}
+		minMS = f
+	}
+	if status != "" && !validStatusFilter(status) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("bad status %q (want a code like 503 or a class like 5xx)", status))
+		return
+	}
+	views := s.tracer.Recent()
+	filtered := make([]*trace.View, 0, len(views))
+	for _, v := range views {
+		if route != "" && v.Route != route {
+			continue
+		}
+		if v.DurationMS < minMS {
+			continue
+		}
+		if status != "" && !statusMatches(status, v.Status) {
+			continue
+		}
+		filtered = append(filtered, v)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"traces": filtered,
+		"stats":  s.tracer.Stats(),
+	})
+}
+
+func validStatusFilter(f string) bool {
+	if len(f) == 3 && f[0] >= '1' && f[0] <= '5' && f[1] == 'x' && f[2] == 'x' {
+		return true
+	}
+	n, err := strconv.Atoi(f)
+	return err == nil && n >= 100 && n < 600
+}
+
+func statusMatches(f string, status int) bool {
+	if len(f) == 3 && f[1] == 'x' && f[2] == 'x' {
+		return status/100 == int(f[0]-'0')
+	}
+	n, _ := strconv.Atoi(f)
+	return status == n
+}

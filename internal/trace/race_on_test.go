@@ -1,0 +1,8 @@
+//go:build race
+
+package trace
+
+// raceEnabledTrace reports whether the race detector is active; alloc-count
+// assertions are skipped under it (sync.Pool behaves differently there by
+// design).
+func raceEnabledTrace() bool { return true }

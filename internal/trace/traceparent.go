@@ -1,0 +1,86 @@
+package trace
+
+// W3C Trace Context (https://www.w3.org/TR/trace-context/) traceparent
+// support: "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>".
+// Parsing is strict but failure is silent — a malformed header means the
+// request is simply traced without a remote parent, never rejected.
+
+const traceparentLen = 2 + 1 + 32 + 1 + 16 + 1 + 2 // "00-…-…-…"
+
+// ParseTraceparent decodes a traceparent header value. ok is false for
+// anything malformed, for the reserved all-zero trace or parent ids, and
+// for the invalid version ff.
+func ParseTraceparent(h string) (traceID [16]byte, parentID [8]byte, flags byte, ok bool) {
+	if len(h) != traceparentLen || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return traceID, parentID, 0, false
+	}
+	ver, okv := hexByte(h[0], h[1])
+	if !okv || ver == 0xff {
+		return traceID, parentID, 0, false
+	}
+	zero := byte(0)
+	for i := 0; i < 16; i++ {
+		b, okb := hexByte(h[3+2*i], h[4+2*i])
+		if !okb {
+			return traceID, parentID, 0, false
+		}
+		traceID[i] = b
+		zero |= b
+	}
+	if zero == 0 {
+		return traceID, parentID, 0, false
+	}
+	zero = 0
+	for i := 0; i < 8; i++ {
+		b, okb := hexByte(h[36+2*i], h[37+2*i])
+		if !okb {
+			return traceID, parentID, 0, false
+		}
+		parentID[i] = b
+		zero |= b
+	}
+	if zero == 0 {
+		return traceID, parentID, 0, false
+	}
+	flags, okf := hexByte(h[53], h[54])
+	if !okf {
+		return traceID, parentID, 0, false
+	}
+	return traceID, parentID, flags, true
+}
+
+// FormatTraceparent renders the version-00 header for the given ids.
+func FormatTraceparent(traceID [16]byte, spanID [8]byte, flags byte) string {
+	var buf [traceparentLen]byte
+	buf[0], buf[1], buf[2] = '0', '0', '-'
+	for i, c := range traceID {
+		buf[3+2*i] = hexdigits[c>>4]
+		buf[4+2*i] = hexdigits[c&0xf]
+	}
+	buf[35] = '-'
+	for i, c := range spanID {
+		buf[36+2*i] = hexdigits[c>>4]
+		buf[37+2*i] = hexdigits[c&0xf]
+	}
+	buf[52] = '-'
+	buf[53] = hexdigits[flags>>4]
+	buf[54] = hexdigits[flags&0xf]
+	return string(buf[:])
+}
+
+// hexByte decodes two lowercase hex digits (the spec forbids uppercase).
+func hexByte(hi, lo byte) (byte, bool) {
+	h, okh := hexNibble(hi)
+	l, okl := hexNibble(lo)
+	return h<<4 | l, okh && okl
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}

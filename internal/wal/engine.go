@@ -2,6 +2,7 @@ package wal
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"classminer/internal/store"
+	"classminer/internal/trace"
 )
 
 // Engine is the durable storage engine over one data directory: an
@@ -421,13 +423,28 @@ type Commit struct {
 // fsync failed and the record was clawed back off the log (it will never be
 // replayed). Every staged Commit should be waited on.
 func (c Commit) Wait() error {
+	return c.WaitCtx(context.Background())
+}
+
+// WaitCtx is Wait with tracing: when ctx carries an active trace span, the
+// time parked behind the group commit is recorded as a "wal.park" child
+// span — renamed "wal.fsync.lead" when this waiter wins the lead token and
+// drives the fsync itself, which is the distinction that matters when
+// attributing a stalled ingest (waiting on someone else's flush vs. paying
+// for the disk). The context is observational only: a group-committed
+// record cannot be abandoned by cancellation, so WaitCtx still blocks until
+// the batch verdict.
+func (c Commit) WaitCtx(ctx context.Context) error {
 	if c.b == nil {
 		return nil
 	}
+	sp := trace.StartSpan(ctx, "wal.park")
+	defer sp.End()
 	select {
 	case <-c.b.done:
 		return c.b.err
 	case c.b.lead <- struct{}{}:
+		sp.Rename("wal.fsync.lead")
 		return c.e.leadCommit(c.b)
 	}
 }
@@ -446,11 +463,23 @@ func (c Commit) Wait() error {
 // that want to overlap their own work with the flush use Begin + Wait;
 // Append is simply both back to back.
 func (e *Engine) Append(payload []byte) error {
+	return e.AppendCtx(context.Background(), payload)
+}
+
+// AppendCtx is Append with tracing: when ctx carries a trace span, the
+// staging and group-commit wait are recorded as "wal.append" plus the
+// wal.park/wal.fsync.lead child from WaitCtx.
+func (e *Engine) AppendCtx(ctx context.Context, payload []byte) error {
+	sp := trace.StartSpan(ctx, "wal.append")
+	defer sp.End()
+	if sp != nil {
+		ctx = trace.With(ctx, sp) // park/lead spans nest under wal.append
+	}
 	c, err := e.Begin(payload)
 	if err != nil {
 		return err
 	}
-	return c.Wait()
+	return c.WaitCtx(ctx)
 }
 
 // Begin stages one record on the log and returns its durability handle

@@ -1,0 +1,34 @@
+package classminer_test
+
+// The serving hot path carries an exact allocation budget, pinned here as a
+// test (not just a benchmark someone has to remember to run). The contract:
+// with the full default stack active — auth, admission, metrics, AND request
+// tracing — an uncached search that the tracer records but does not keep
+// (unsampled, fast, 2xx) costs exactly 43 heap allocations per request,
+// including the httptest request/recorder scaffolding the companion
+// BenchmarkServerSearch also counts. Tracing rides the budget by pooling its
+// per-request state and deferring every rendering cost to kept traces.
+
+import (
+	"testing"
+)
+
+func TestServerSearchAllocContract(t *testing.T) {
+	if raceDetectorOn {
+		t.Skip("alloc counts differ under the race detector")
+	}
+	const want = 43.0
+	s := benchServer(t, -1) // cache disabled: every request runs the index
+	body := []byte(`{"video":"laparoscopy","shot":0,"k":10}`)
+	for i := 0; i < 16; i++ {
+		searchOnce(t, s, body) // warm every pool on the path
+	}
+	got := testing.AllocsPerRun(200, func() { searchOnce(t, s, body) })
+	// A stray GC emptying a sync.Pool mid-run can add a fractional alloc;
+	// anything reaching the next whole allocation is a real regression.
+	if got < want || got >= want+1 {
+		t.Fatalf("uncached search = %.2f allocs/op, want %v\n"+
+			"(if a change legitimately shifted the budget, update this contract "+
+			"and BenchmarkServerSearch's docs together)", got, want)
+	}
+}

@@ -27,7 +27,7 @@ var (
 	srvErr  error
 )
 
-func benchLibrary(b *testing.B) *classminer.Library {
+func benchLibrary(b testing.TB) *classminer.Library {
 	b.Helper()
 	srvOnce.Do(func() {
 		a, err := classminer.NewAnalyzer(classminer.Options{SkipEvents: true})
@@ -54,7 +54,7 @@ func benchLibrary(b *testing.B) *classminer.Library {
 	return srvLib
 }
 
-func benchServer(b *testing.B, cacheSize int) *server.Server {
+func benchServer(b testing.TB, cacheSize int) *server.Server {
 	b.Helper()
 	anon := access.User{Name: "bench", Clearance: access.Administrator}
 	// Admission fully on: concurrency gates and request deadlines at their
@@ -70,7 +70,7 @@ func benchServer(b *testing.B, cacheSize int) *server.Server {
 	return s
 }
 
-func searchOnce(b *testing.B, s *server.Server, body []byte) {
+func searchOnce(b testing.TB, s *server.Server, body []byte) {
 	b.Helper()
 	r := httptest.NewRequest(http.MethodPost, "/v1/search", bytes.NewReader(body))
 	w := httptest.NewRecorder()
