@@ -1006,8 +1006,18 @@ type LibraryStats struct {
 	IndexStaleness float64 `json:"indexStaleness"`
 	Generation     int64   `json:"generation"`
 	// WAL is the durable log's lag since its last checkpoint; nil when the
-	// library is not durable.
+	// library is not durable. For a sharded library this is the aggregate
+	// across shards (summed counters, min generation).
 	WAL *WALStats `json:"wal,omitempty"`
+	// Shards carries the per-shard breakdown when the stats come from a
+	// sharded library (internal/shard); nil for a plain Library.
+	Shards []ShardStats `json:"shards,omitempty"`
+}
+
+// ShardStats is one shard's slice of a sharded library's stats.
+type ShardStats struct {
+	Shard int `json:"shard"`
+	LibraryStats
 }
 
 // Stats returns a consistent snapshot of the library's counters.

@@ -42,6 +42,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -54,9 +55,22 @@ import (
 	"classminer/internal/access"
 	"classminer/internal/metrics"
 	"classminer/internal/server"
+	"classminer/internal/shard"
 	"classminer/internal/store"
 	"classminer/internal/synth"
 )
+
+// library is everything the daemon needs from its storage backend: the
+// serving contract plus boot-time population and shutdown. Both a plain
+// *classminer.Library (-shards 1, the default — including every legacy
+// data dir) and the sharded router (*shard.Library, -shards N) satisfy it.
+type library interface {
+	server.Library
+	AddVideo(v *classminer.Video, subcluster string) (*classminer.Result, error)
+	ImportSnapshot(r io.Reader, skipExisting bool) (int, error)
+	BuildIndex() error
+	Close() error
+}
 
 // tokenFlags accumulates repeated -token values of the form
 // token=name:clearance[:role1|role2...].
@@ -108,6 +122,10 @@ type config struct {
 	metrics    bool
 	pprof      bool
 	tokens     map[string]access.User
+
+	// sharding (only meaningful with -data-dir or for in-memory scale-out)
+	shards    int
+	shardsSet bool // -shards given explicitly (mismatch checks need to know)
 
 	// write-path index maintenance
 	rebuildAfter    float64
@@ -168,9 +186,15 @@ func main() {
 	flag.Int64Var(&cfg.ckptBytes, "checkpoint-bytes", 64<<20, "auto-checkpoint once this much WAL accumulates (negative disables)")
 	flag.Int64Var(&cfg.ckptRecords, "checkpoint-records", 10000, "auto-checkpoint once this many WAL records accumulate (negative disables)")
 	flag.Int64Var(&cfg.compactBytes, "compact-bytes", 8<<20, "auto-compact sealed WAL segments once this many dead bytes accumulate (negative disables)")
+	flag.IntVar(&cfg.shards, "shards", 1, "library shards, each with its own WAL/index/rebuild state (fixed at data-dir creation; 1 = classic single library)")
 	flag.Var(&tokens, "token", "token=name:clearance[:role1|role2] (repeatable)")
 	flag.Parse()
 	cfg.tokens = tokens.users
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shards" {
+			cfg.shardsSet = true
+		}
+	})
 
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "classminerd:", err)
@@ -306,8 +330,11 @@ func run(cfg config) error {
 // directory (or start empty), import a legacy snapshot, mine bootstrap
 // corpus videos, and build the index. Every registration into a durable
 // library — imported, bootstrapped or later ingested — is journaled.
-func buildLibrary(logger *log.Logger, analyzer *classminer.Analyzer, cfg config, reg *metrics.Registry) (*classminer.Library, error) {
-	var lib *classminer.Library
+func buildLibrary(logger *log.Logger, analyzer *classminer.Analyzer, cfg config, reg *metrics.Registry) (library, error) {
+	if cfg.shards < 1 {
+		return nil, fmt.Errorf("-shards must be at least 1, got %d", cfg.shards)
+	}
+	var lib library
 	if cfg.dataDir != "" {
 		wopts, err := syncPolicy(cfg.fsync)
 		if err != nil {
@@ -320,11 +347,45 @@ func buildLibrary(logger *log.Logger, analyzer *classminer.Analyzer, cfg config,
 		wopts.CompactBytes = cfg.compactBytes
 		wopts.Metrics = reg
 		wopts.Logf = logger.Printf
-		lib, err = classminer.Recover(cfg.dataDir, analyzer, wopts)
+		// A SHARDS manifest marks a sharded layout and pins its count; it
+		// wins over the flag default so reopening a sharded dir needs no
+		// flags, but an explicit conflicting -shards is an error. Plain
+		// dirs (including every pre-sharding data dir) stay on the classic
+		// single-library path byte-for-byte.
+		persisted, err := shard.Count(cfg.dataDir)
 		if err != nil {
-			return nil, fmt.Errorf("recovering %s: %w", cfg.dataDir, err)
+			return nil, err
 		}
-		logger.Printf("recovered %d videos from %s", lib.Stats().Videos, cfg.dataDir)
+		if persisted > 0 && cfg.shardsSet && cfg.shards != persisted {
+			return nil, fmt.Errorf("data dir %s holds %d shards but -shards %d was given (the count is fixed at creation)", cfg.dataDir, persisted, cfg.shards)
+		}
+		if persisted > 0 || cfg.shards > 1 {
+			n := cfg.shards
+			if persisted > 0 {
+				n = persisted
+			}
+			start := time.Now()
+			slib, err := shard.Recover(cfg.dataDir, n, analyzer, wopts)
+			if err != nil {
+				return nil, fmt.Errorf("recovering %s: %w", cfg.dataDir, err)
+			}
+			logger.Printf("recovered %d videos from %s (%d shards, parallel boot %v)",
+				slib.Stats().Videos, cfg.dataDir, slib.ShardCount(), time.Since(start).Round(time.Millisecond))
+			lib = slib
+		} else {
+			plib, err := classminer.Recover(cfg.dataDir, analyzer, wopts)
+			if err != nil {
+				return nil, fmt.Errorf("recovering %s: %w", cfg.dataDir, err)
+			}
+			logger.Printf("recovered %d videos from %s", plib.Stats().Videos, cfg.dataDir)
+			lib = plib
+		}
+	} else if cfg.shards > 1 {
+		slib, err := shard.New(analyzer, cfg.shards)
+		if err != nil {
+			return nil, err
+		}
+		lib = slib
 	} else {
 		lib = classminer.NewLibrary(analyzer)
 	}
@@ -380,7 +441,7 @@ func buildLibrary(logger *log.Logger, analyzer *classminer.Analyzer, cfg config,
 // that the library does not already hold, reporting how many were new. On
 // a durable library the imports are journaled like any registration, so
 // -load doubles as a one-shot migration into -data-dir.
-func importSnapshot(lib *classminer.Library, path string) (int, error) {
+func importSnapshot(lib library, path string) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err

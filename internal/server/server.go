@@ -15,7 +15,9 @@
 package server
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync/atomic"
@@ -177,10 +179,58 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Library is the storage/index/search contract the server fronts. Both a
+// plain *classminer.Library and the sharded router (internal/shard.Library)
+// satisfy it, so the serving layer is indifferent to the shard count: the
+// rebuilder kicks, the memory-watchdog degrade hooks, /v1/stats and the
+// admin WAL endpoints all address whatever is behind this interface, and a
+// sharded implementation fans them out per shard.
+type Library interface {
+	// Mutations.
+	AddVideoCtx(ctx context.Context, v *classminer.Video, subcluster string) (*classminer.Result, error)
+	AddResultCtx(ctx context.Context, res *classminer.Result, subcluster string) error
+	ReplaceResultAsCtx(ctx context.Context, u classminer.User, res *classminer.Result, subcluster string) error
+	ReplaceVideoAsCtx(ctx context.Context, u classminer.User, v *classminer.Video, subcluster string) (*classminer.Result, error)
+	DeleteVideoAsCtx(ctx context.Context, u classminer.User, name string) error
+
+	// Policy and hierarchy.
+	Protect(r classminer.Rule)
+	Allowed(u classminer.User, path []string) bool
+	HasSubcluster(name string) bool
+	ConceptPath(name string) []string
+
+	// Index lifecycle (driven by the rebuilder).
+	BuildIndexCtx(ctx context.Context) error
+	RebuildNeeded(budget float64) bool
+	IndexStale() bool
+	IndexStaleness() float64
+
+	// Reads.
+	Generation() int64
+	Stats() classminer.LibraryStats
+	Video(name string) *classminer.VideoEntry
+	VideoNames() []string
+	Size() int
+	SearchIntoCtx(ctx context.Context, dst []classminer.SearchHit, u classminer.User, query []float64, k int) ([]classminer.SearchHit, classminer.SearchStats, error)
+	SearchBatch(u classminer.User, queries [][]float64, k int) ([][]classminer.SearchHit, []classminer.SearchStats, error)
+	ScenesByEvent(u classminer.User, kind classminer.EventKind) []classminer.SceneRef
+
+	// Durability.
+	Save(w io.Writer) error
+	Durable() bool
+	Checkpoint() error
+	Compact() (classminer.CompactStats, error)
+	WALStats() (classminer.WALStats, bool)
+
+	Instrument(reg *metrics.Registry)
+}
+
+var _ Library = (*classminer.Library)(nil)
+
 // Server is the HTTP face of one Library. Create with New, serve with any
 // http.Server, and Close when done to drain the ingest pool.
 type Server struct {
-	lib       *classminer.Library
+	lib       Library
 	opts      Options
 	cache     *searchCache
 	pool      *ingestPool
@@ -195,7 +245,7 @@ type Server struct {
 }
 
 // New builds a Server over lib and starts its ingest workers.
-func New(lib *classminer.Library, opts Options) *Server {
+func New(lib Library, opts Options) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
 		lib:     lib,

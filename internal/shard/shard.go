@@ -1,0 +1,666 @@
+// Package shard partitions a video library into N independent shards — each
+// with its own WAL engine, feature matrix, incremental index and rebuild
+// bookkeeping — behind a router that keeps the single-library API. Mutations
+// route to exactly one shard by a deterministic hash of the video name
+// (content-based placement: the same name always lands on the same shard, so
+// duplicate detection and replacement stay shard-local), and searches
+// scatter-gather: every non-empty shard ranks its own top-k and the router
+// merges with an exact full-space re-rank (internal/index.MergeHits) whose
+// (distance, video name, shot index) total order makes results deterministic
+// and independent of the shard count.
+//
+// Every per-library cost — group commit, checkpoint, compaction, index
+// rebuild, lock contention — becomes per-shard and therefore parallel.
+// Subcluster and ACL policy is replicated to all shards (Protect fans out),
+// so per-shard search filtering applies exactly the rules the router holds.
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+
+	"classminer"
+	"classminer/internal/metrics"
+	"classminer/internal/store"
+)
+
+// Shard is the narrow storage/index/search contract the router addresses.
+// *classminer.Library satisfies it; the router never reaches past it.
+type Shard interface {
+	// Mutations (each routed to exactly one shard).
+	AddVideoCtx(ctx context.Context, v *classminer.Video, subcluster string) (*classminer.Result, error)
+	AddResultCtx(ctx context.Context, res *classminer.Result, subcluster string) error
+	ReplaceResultAsCtx(ctx context.Context, u classminer.User, res *classminer.Result, subcluster string) error
+	ReplaceVideoAsCtx(ctx context.Context, u classminer.User, v *classminer.Video, subcluster string) (*classminer.Result, error)
+	DeleteVideo(name string) error
+	DeleteVideoAsCtx(ctx context.Context, u classminer.User, name string) error
+
+	// Policy (replicated to every shard).
+	Protect(r classminer.Rule)
+	Allowed(u classminer.User, path []string) bool
+	HasSubcluster(name string) bool
+	ConceptPath(name string) []string
+
+	// Index lifecycle (fanned out).
+	BuildIndexCtx(ctx context.Context) error
+	RebuildNeeded(budget float64) bool
+	IndexStale() bool
+	IndexStaleness() float64
+
+	// Reads.
+	Generation() int64
+	Stats() classminer.LibraryStats
+	Video(name string) *classminer.VideoEntry
+	VideoNames() []string
+	Size() int
+	SearchIntoCtx(ctx context.Context, dst []classminer.SearchHit, u classminer.User, query []float64, k int) ([]classminer.SearchHit, classminer.SearchStats, error)
+	SearchBatch(u classminer.User, queries [][]float64, k int) ([][]classminer.SearchHit, []classminer.SearchStats, error)
+	ScenesByEvent(u classminer.User, kind classminer.EventKind) []classminer.SceneRef
+
+	// Durability (fanned out; each shard owns one WAL engine).
+	Save(w io.Writer) error
+	Durable() bool
+	Checkpoint() error
+	Compact() (classminer.CompactStats, error)
+	WALStats() (classminer.WALStats, bool)
+
+	Instrument(reg *metrics.Registry)
+	Close() error
+}
+
+var _ Shard = (*classminer.Library)(nil)
+
+// Library routes the single-library API across N shards. It satisfies the
+// same serving contract as *classminer.Library (internal/server.Library),
+// so the daemon and server are indifferent to the shard count.
+type Library struct {
+	shards []Shard
+}
+
+// New creates an in-memory (non-durable) sharded library.
+func New(a *classminer.Analyzer, n int) (*Library, error) {
+	if err := checkShardCount(n); err != nil {
+		return nil, err
+	}
+	shards := make([]Shard, n)
+	for i := range shards {
+		shards[i] = classminer.NewLibrary(a)
+	}
+	return &Library{shards: shards}, nil
+}
+
+// ShardCount reports how many shards the router owns.
+func (l *Library) ShardCount() int { return len(l.shards) }
+
+// maxShards bounds the shard count to something a single node can own;
+// beyond it a flag typo is far more likely than a real deployment.
+const maxShards = 256
+
+func checkShardCount(n int) error {
+	if n < 1 || n > maxShards {
+		return fmt.Errorf("shard: shard count %d out of range [1,%d]", n, maxShards)
+	}
+	return nil
+}
+
+// manifestName is the parent-dir file that pins a sharded data dir's shard
+// count. Its presence is what distinguishes a sharded layout (shard-<i>/
+// subdirectories) from a legacy single-shard dir (MANIFEST at top level).
+const manifestName = "SHARDS"
+
+type shardsManifest struct {
+	Shards int `json:"shards"`
+}
+
+// Count reports the shard count recorded in dir's SHARDS manifest, or 0
+// when the directory is not a sharded data dir (including when it does not
+// exist yet). The daemon uses it to pick the recovery path before opening
+// anything.
+func Count(dir string) (int, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var m shardsManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return 0, fmt.Errorf("shard: corrupt %s manifest in %s: %w", manifestName, dir, err)
+	}
+	if err := checkShardCount(m.Shards); err != nil {
+		return 0, fmt.Errorf("shard: corrupt %s manifest in %s: %w", manifestName, dir, err)
+	}
+	return m.Shards, nil
+}
+
+// legacySingleShardDir reports whether dir already holds a single-shard
+// WAL layout at its top level (MANIFEST appears only after the first
+// checkpoint, so the lock file and log segments count too).
+func legacySingleShardDir(dir string) bool {
+	for _, name := range []string{"MANIFEST", "LOCK"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err == nil {
+			return true
+		}
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.log"))
+	return len(segs) > 0
+}
+
+func writeManifest(dir string, n int) error {
+	return store.WriteFileAtomic(filepath.Join(dir, manifestName), func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		return enc.Encode(shardsManifest{Shards: n})
+	})
+}
+
+// ShardDir returns the data subdirectory of shard i under parent dir.
+func ShardDir(dir string, i int) string {
+	return filepath.Join(dir, "shard-"+strconv.Itoa(i))
+}
+
+// Recover opens (or creates) a sharded durable library under dir: one
+// shard-<i>/ subdirectory per shard, each a full classminer data dir with
+// its own MANIFEST, lock, snapshots and log segments, booted in parallel.
+// The shard count is pinned at creation by the SHARDS manifest; n must
+// match it on reopen (n <= 0 means "use the recorded count"). A legacy
+// single-shard data dir (top-level MANIFEST) is refused — recover it with
+// the plain classminer.Recover path instead.
+func Recover(dir string, n int, a *classminer.Analyzer, opts classminer.DurableOptions) (*Library, error) {
+	persisted, err := Count(dir)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case persisted > 0 && n > 0 && n != persisted:
+		return nil, fmt.Errorf("shard: data dir %s holds %d shards but %d were requested (the shard count is fixed when the dir is created)", dir, persisted, n)
+	case persisted > 0:
+		n = persisted
+	default:
+		if err := checkShardCount(n); err != nil {
+			return nil, err
+		}
+		if legacySingleShardDir(dir) {
+			return nil, fmt.Errorf("shard: %s is a legacy single-shard data dir (top-level WAL files); recover it with a single-shard library instead of -shards %d", dir, n)
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := writeManifest(dir, n); err != nil {
+			return nil, err
+		}
+	}
+
+	shards := make([]Shard, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := opts
+			if logf := opts.Logf; logf != nil {
+				prefix := "shard-" + strconv.Itoa(i) + ": "
+				o.Logf = func(format string, args ...any) { logf(prefix+format, args...) }
+			}
+			lib, err := classminer.Recover(ShardDir(dir, i), a, o)
+			if err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+				return
+			}
+			shards[i] = lib
+		}(i)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		for _, sh := range shards {
+			if sh != nil {
+				sh.Close()
+			}
+		}
+		return nil, err
+	}
+	l := &Library{shards: shards}
+	if opts.Metrics != nil {
+		l.instrumentWAL(opts.Metrics)
+	}
+	return l, nil
+}
+
+// fnv32Offset/fnv32Prime: FNV-1a, inlined so routing never allocates.
+const (
+	fnv32Offset = 2166136261
+	fnv32Prime  = 16777619
+)
+
+// shardIndex is the content-based placement function: FNV-1a over the video
+// name, modulo the shard count. Deterministic, so the same name always
+// routes to the same shard across processes and restarts.
+func shardIndex(name string, n int) int {
+	h := uint32(fnv32Offset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint32(name[i])
+		h *= fnv32Prime
+	}
+	return int(h % uint32(n))
+}
+
+// owner returns the shard responsible for the named video.
+func (l *Library) owner(name string) Shard {
+	return l.shards[shardIndex(name, len(l.shards))]
+}
+
+// Owner exposes the placement decision for tests and tooling.
+func (l *Library) Owner(name string) int { return shardIndex(name, len(l.shards)) }
+
+// ---- Mutations: route to exactly one shard's WAL. ----
+
+// AddVideo mines and registers a video on its owning shard.
+func (l *Library) AddVideo(v *classminer.Video, subcluster string) (*classminer.Result, error) {
+	return l.AddVideoCtx(context.Background(), v, subcluster)
+}
+
+// AddVideoCtx mines and registers a video on its owning shard.
+func (l *Library) AddVideoCtx(ctx context.Context, v *classminer.Video, subcluster string) (*classminer.Result, error) {
+	if v == nil {
+		return nil, fmt.Errorf("classminer: nil video")
+	}
+	return l.owner(v.Name).AddVideoCtx(ctx, v, subcluster)
+}
+
+// AddResult registers a pre-mined result on its owning shard.
+func (l *Library) AddResult(res *classminer.Result, subcluster string) error {
+	return l.AddResultCtx(context.Background(), res, subcluster)
+}
+
+// AddResultCtx registers a pre-mined result on its owning shard.
+func (l *Library) AddResultCtx(ctx context.Context, res *classminer.Result, subcluster string) error {
+	if res == nil || res.Video == nil {
+		return fmt.Errorf("classminer: nil result")
+	}
+	return l.owner(res.Video.Name).AddResultCtx(ctx, res, subcluster)
+}
+
+// ReplaceResultAsCtx replaces a registration on its owning shard.
+func (l *Library) ReplaceResultAsCtx(ctx context.Context, u classminer.User, res *classminer.Result, subcluster string) error {
+	if res == nil || res.Video == nil {
+		return fmt.Errorf("classminer: nil result")
+	}
+	return l.owner(res.Video.Name).ReplaceResultAsCtx(ctx, u, res, subcluster)
+}
+
+// ReplaceVideoAsCtx re-mines and replaces a video on its owning shard.
+func (l *Library) ReplaceVideoAsCtx(ctx context.Context, u classminer.User, v *classminer.Video, subcluster string) (*classminer.Result, error) {
+	if v == nil {
+		return nil, fmt.Errorf("classminer: nil video")
+	}
+	return l.owner(v.Name).ReplaceVideoAsCtx(ctx, u, v, subcluster)
+}
+
+// DeleteVideo unregisters a video from its owning shard.
+func (l *Library) DeleteVideo(name string) error {
+	return l.owner(name).DeleteVideo(name)
+}
+
+// DeleteVideoAsCtx unregisters a video from its owning shard, policy-checked.
+func (l *Library) DeleteVideoAsCtx(ctx context.Context, u classminer.User, name string) error {
+	return l.owner(name).DeleteVideoAsCtx(ctx, u, name)
+}
+
+// ---- Policy: replicated so shard-local filtering equals router intent. ----
+
+// Protect adds an access rule to every shard, keeping per-shard search
+// filtering identical to what a single library would enforce.
+func (l *Library) Protect(r classminer.Rule) {
+	for _, sh := range l.shards {
+		sh.Protect(r)
+	}
+}
+
+// Allowed delegates to shard 0; policy is identical on every shard.
+func (l *Library) Allowed(u classminer.User, path []string) bool {
+	return l.shards[0].Allowed(u, path)
+}
+
+// HasSubcluster delegates to shard 0 (the hierarchy is shared and static).
+func (l *Library) HasSubcluster(name string) bool { return l.shards[0].HasSubcluster(name) }
+
+// ConceptPath delegates to shard 0 (the hierarchy is shared and static).
+func (l *Library) ConceptPath(name string) []string { return l.shards[0].ConceptPath(name) }
+
+// ---- Index lifecycle: fan out. ----
+
+// BuildIndex fits every non-empty shard's index.
+func (l *Library) BuildIndex() error { return l.BuildIndexCtx(context.Background()) }
+
+// BuildIndexCtx fits every non-empty shard's index in parallel. Matching
+// the single-library contract, an entirely empty library is an error.
+func (l *Library) BuildIndexCtx(ctx context.Context) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(l.shards))
+	built := false
+	for i, sh := range l.shards {
+		if sh.Size() == 0 {
+			continue
+		}
+		built = true
+		wg.Add(1)
+		go func(i int, sh Shard) {
+			defer wg.Done()
+			if err := sh.BuildIndexCtx(ctx); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	if !built {
+		return fmt.Errorf("classminer: no videos registered")
+	}
+	return errors.Join(errs...)
+}
+
+// RebuildNeeded reports whether any non-empty shard's overlay exceeds the
+// budget; the server's debounced rebuilder treats the router as one unit
+// and BuildIndexCtx refits only the shards that drifted past staleness 0.
+func (l *Library) RebuildNeeded(budget float64) bool {
+	for _, sh := range l.shards {
+		if sh.Size() > 0 && sh.RebuildNeeded(budget) {
+			return true
+		}
+	}
+	return false
+}
+
+// IndexStale reports whether any non-empty shard serves a stale index (an
+// entirely empty library is stale, matching the single-library contract).
+func (l *Library) IndexStale() bool {
+	empty := true
+	for _, sh := range l.shards {
+		if sh.Size() == 0 {
+			continue
+		}
+		empty = false
+		if sh.IndexStale() {
+			return true
+		}
+	}
+	return empty
+}
+
+// IndexStaleness is the worst (max) overlay fraction across shards.
+func (l *Library) IndexStaleness() float64 {
+	var max float64
+	for _, sh := range l.shards {
+		if s := sh.IndexStaleness(); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// ---- Reads and aggregation. ----
+
+// Generation sums the shard generations: any mutation anywhere advances it,
+// so generation-keyed caches invalidate exactly as with one library.
+func (l *Library) Generation() int64 {
+	var g int64
+	for _, sh := range l.shards {
+		g += sh.Generation()
+	}
+	return g
+}
+
+// Stats aggregates across shards — counters summed, staleness is the max
+// (worst shard) — and carries the per-shard breakdown in Shards. The WAL
+// block sums every counter (total replay cost) and reports the minimum
+// checkpoint generation (the weakest shard's durability progress).
+func (l *Library) Stats() classminer.LibraryStats {
+	var agg classminer.LibraryStats
+	var wal classminer.WALStats
+	durable := true
+	agg.Shards = make([]classminer.ShardStats, 0, len(l.shards))
+	for i, sh := range l.shards {
+		st := sh.Stats()
+		agg.Videos += st.Videos
+		agg.Shots += st.Shots
+		agg.IndexedShots += st.IndexedShots
+		if st.Shots > 0 && st.IndexStale {
+			agg.IndexStale = true
+		}
+		if st.IndexStaleness > agg.IndexStaleness {
+			agg.IndexStaleness = st.IndexStaleness
+		}
+		agg.Generation += st.Generation
+		if st.WAL == nil {
+			durable = false
+		} else {
+			wal.Records += st.WAL.Records
+			wal.Bytes += st.WAL.Bytes
+			wal.DeadRecords += st.WAL.DeadRecords
+			wal.DeadBytes += st.WAL.DeadBytes
+			wal.LiveRecords += st.WAL.LiveRecords
+			wal.Segments += st.WAL.Segments
+			wal.Syncs += st.WAL.Syncs
+			if i == 0 || st.WAL.Generation < wal.Generation {
+				wal.Generation = st.WAL.Generation
+			}
+		}
+		agg.Shards = append(agg.Shards, classminer.ShardStats{Shard: i, LibraryStats: st})
+	}
+	if agg.Shots == 0 {
+		agg.IndexStale = true
+	}
+	if durable {
+		agg.WAL = &wal
+	}
+	return agg
+}
+
+// Video returns a registered video's entry from its owning shard, or nil.
+func (l *Library) Video(name string) *classminer.VideoEntry {
+	return l.owner(name).Video(name)
+}
+
+// VideoNames returns every registered name across shards, sorted.
+func (l *Library) VideoNames() []string {
+	var names []string
+	for _, sh := range l.shards {
+		names = append(names, sh.VideoNames()...)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Size is the total number of indexable shots across shards.
+func (l *Library) Size() int {
+	n := 0
+	for _, sh := range l.shards {
+		n += sh.Size()
+	}
+	return n
+}
+
+// ScenesByEvent concatenates every shard's allowed scenes of the category.
+func (l *Library) ScenesByEvent(u classminer.User, kind classminer.EventKind) []classminer.SceneRef {
+	var out []classminer.SceneRef
+	for _, sh := range l.shards {
+		out = append(out, sh.ScenesByEvent(u, kind)...)
+	}
+	return out
+}
+
+// ---- Durability: fan out; each shard owns an independent WAL. ----
+
+// Save writes one merged snapshot of every shard, sorted by video name so
+// the bytes are independent of the shard count. Each shard's Save settles
+// its own pending group commits first, exactly as a single library would.
+func (l *Library) Save(w io.Writer) error {
+	var entries []store.SavedLibraryEntry
+	for i, sh := range l.shards {
+		var buf bytes.Buffer
+		if err := sh.Save(&buf); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		sl, err := store.ReadLibrary(&buf)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		entries = append(entries, sl.Videos...)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].Result.VideoName < entries[j].Result.VideoName
+	})
+	return store.WriteLibrary(w, entries)
+}
+
+// ImportSnapshot reads a merged snapshot and routes every video to its
+// owning shard, returning how many were imported.
+func (l *Library) ImportSnapshot(r io.Reader, skipExisting bool) (int, error) {
+	saved, err := store.ReadLibrary(r)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, sv := range saved.Videos {
+		res, err := store.DecodeResult(sv.Result)
+		if err != nil {
+			return n, err
+		}
+		sh := l.owner(res.Video.Name)
+		if skipExisting && sh.Video(res.Video.Name) != nil {
+			continue
+		}
+		if err := sh.AddResultCtx(context.Background(), res, sv.Subcluster); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Durable reports whether the shards write-ahead log registrations; shards
+// are homogeneous by construction, so shard 0 answers for all.
+func (l *Library) Durable() bool { return l.shards[0].Durable() }
+
+// Checkpoint snapshots every shard in parallel.
+func (l *Library) Checkpoint() error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(l.shards))
+	for i, sh := range l.shards {
+		wg.Add(1)
+		go func(i int, sh Shard) {
+			defer wg.Done()
+			if err := sh.Checkpoint(); err != nil {
+				errs[i] = fmt.Errorf("shard %d: %w", i, err)
+			}
+		}(i, sh)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Compact compacts every shard's sealed segments, summing what was
+// reclaimed.
+func (l *Library) Compact() (classminer.CompactStats, error) {
+	var total classminer.CompactStats
+	var errs []error
+	for i, sh := range l.shards {
+		cs, err := sh.Compact()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+			continue
+		}
+		total.SegmentsScanned += cs.SegmentsScanned
+		total.SegmentsCompacted += cs.SegmentsCompacted
+		total.SegmentsRemoved += cs.SegmentsRemoved
+		total.RecordsDropped += cs.RecordsDropped
+		total.BytesFreed += cs.BytesFreed
+	}
+	return total, errors.Join(errs...)
+}
+
+// WALStats aggregates the per-shard logs (same discipline as Stats);
+// ok is false when the library is not durable.
+func (l *Library) WALStats() (classminer.WALStats, bool) {
+	st := l.Stats()
+	if st.WAL == nil {
+		return classminer.WALStats{}, false
+	}
+	return *st.WAL, true
+}
+
+// Close closes every shard, releasing each data-dir lock.
+func (l *Library) Close() error {
+	errs := make([]error, len(l.shards))
+	for i, sh := range l.shards {
+		if err := sh.Close(); err != nil {
+			errs[i] = fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// ---- Metrics. ----
+
+// Instrument registers every shard's instruments (counters and histograms
+// dedupe by name, so shards share and naturally sum them), then replaces
+// the last-registered per-shard gauges with router-level aggregates:
+// summed sizes, max staleness, plus a shard-count gauge.
+func (l *Library) Instrument(reg *metrics.Registry) {
+	for _, sh := range l.shards {
+		sh.Instrument(reg)
+	}
+	reg.GaugeFunc("classminer_shards", "Shards behind the library router.",
+		func() float64 { return float64(len(l.shards)) })
+	reg.GaugeFunc("classminer_videos", "Videos currently registered.",
+		func() float64 {
+			n := 0
+			for _, sh := range l.shards {
+				n += sh.Stats().Videos
+			}
+			return float64(n)
+		})
+	reg.GaugeFunc("classminer_shots", "Indexable shots currently registered.",
+		func() float64 { return float64(l.Size()) })
+	reg.GaugeFunc("classminer_index_staleness",
+		"Incremental-overlay fraction of the serving index (0 = freshly fit).",
+		func() float64 { return l.IndexStaleness() })
+}
+
+// instrumentWAL replaces the per-engine WAL gauges (each shard's engine
+// registered its own at open; last one won) with sums across shards.
+func (l *Library) instrumentWAL(reg *metrics.Registry) {
+	sum := func(f func(classminer.WALStats) float64) func() float64 {
+		return func() float64 {
+			var t float64
+			for _, sh := range l.shards {
+				if ws, ok := sh.WALStats(); ok {
+					t += f(ws)
+				}
+			}
+			return t
+		}
+	}
+	reg.GaugeFunc("wal_lag_records", "Records appended since the last checkpoint.",
+		sum(func(ws classminer.WALStats) float64 { return float64(ws.Records) }))
+	reg.GaugeFunc("wal_lag_bytes", "Log bytes appended since the last checkpoint.",
+		sum(func(ws classminer.WALStats) float64 { return float64(ws.Bytes) }))
+	reg.GaugeFunc("wal_dead_bytes",
+		"Estimated superseded (dead) bytes on the live log.",
+		sum(func(ws classminer.WALStats) float64 { return float64(ws.DeadBytes) }))
+	reg.GaugeFunc("wal_segments", "Live log segments (replayed on recovery).",
+		sum(func(ws classminer.WALStats) float64 { return float64(ws.Segments) }))
+	reg.CounterFunc("wal_checkpoints_total", "Completed checkpoint generations.",
+		sum(func(ws classminer.WALStats) float64 { return float64(ws.Generation) }))
+	reg.CounterFunc("wal_syncs_total", "Segment-data fsyncs since open.",
+		sum(func(ws classminer.WALStats) float64 { return float64(ws.Syncs) }))
+}
