@@ -1381,6 +1381,107 @@ func (l *Library) ImportSnapshot(r io.Reader, skipExisting bool) (int, error) {
 	return n, nil
 }
 
+// Engine exposes the library's write-ahead-log engine, or nil when the
+// library is not durable. Replication (internal/repl) ships, pins and seeds
+// the engine's log directly; every other caller should stay behind the
+// Library API.
+func (l *Library) Engine() *wal.Engine {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.journal
+}
+
+// ApplyRecord applies one replicated log record through the same mutation
+// paths the leader used — a follower's index is built by the identical
+// incremental Insert/Remove sequence, and the record is journaled into this
+// library's own log, so an applying follower is itself durable,
+// crash-recoverable, and promotable. Application is idempotent, which is
+// what makes re-apply after a crash mid-batch safe: a register whose name
+// already exists is a no-op (the first apply won and replay-skip semantics
+// say the incumbent stays), a tombstone for an unknown name is a no-op, and
+// a replace is an upsert either way. Legacy bare frames arrive as version-0
+// registrations, exactly as replay treats them.
+func (l *Library) ApplyRecord(ctx context.Context, rec *wal.Record) error {
+	switch rec.Type {
+	case wal.RecordTombstone:
+		if err := l.deleteVideo(ctx, rec.Key, nil); err != nil && !errors.Is(err, ErrUnknownVideo) {
+			return err
+		}
+		return nil
+	case wal.RecordRegister, wal.RecordReplace:
+		var sv store.SavedLibraryEntry
+		if err := json.Unmarshal(rec.Payload, &sv); err != nil {
+			return fmt.Errorf("classminer: decoding replicated record: %w", err)
+		}
+		res, err := store.DecodeResult(sv.Result)
+		if err != nil {
+			return fmt.Errorf("classminer: decoding replicated record: %w", err)
+		}
+		if err := l.checkSubcluster(sv.Subcluster); err != nil {
+			return err
+		}
+		if rec.Type == wal.RecordReplace {
+			return l.replace(ctx, res.Video.Name, res, sv.Subcluster, nil)
+		}
+		if err := l.register(ctx, res.Video.Name, res, sv.Subcluster); err != nil && !errors.Is(err, ErrDuplicateVideo) {
+			return err
+		}
+		return nil
+	default:
+		return fmt.Errorf("classminer: unknown replicated record type %q", rec.Type)
+	}
+}
+
+// ReseedFromSnapshot converges the library onto a leader checkpoint
+// snapshot without wiping: videos absent from the snapshot are tombstoned,
+// every snapshot entry is applied as a replacement (an upsert, so entries
+// whose content drifted are refreshed too), and all of it flows through the
+// normal journaled mutation paths, making the reseed itself crash-safe and
+// re-runnable. This is the follower's fallback when its cursor falls behind
+// the leader's compaction horizon: the snapshot plus the log tail after it
+// is exactly the leader's state. r may be nil — a leader that has never
+// checkpointed has an empty snapshot, and the whole history arrives via the
+// log instead. Reports how many videos were installed and removed.
+func (l *Library) ReseedFromSnapshot(ctx context.Context, r io.Reader) (installed, removed int, err error) {
+	var entries []store.SavedLibraryEntry
+	if r != nil {
+		saved, err := store.ReadLibrary(r)
+		if err != nil {
+			return 0, 0, err
+		}
+		entries = saved.Videos
+	}
+	keep := make(map[string]bool, len(entries))
+	for _, sv := range entries {
+		if sv.Result != nil {
+			keep[sv.Result.VideoName] = true
+		}
+	}
+	for _, name := range l.VideoNames() {
+		if keep[name] {
+			continue
+		}
+		if derr := l.deleteVideo(ctx, name, nil); derr != nil && !errors.Is(derr, ErrUnknownVideo) {
+			return installed, removed, derr
+		}
+		removed++
+	}
+	for _, sv := range entries {
+		res, derr := store.DecodeResult(sv.Result)
+		if derr != nil {
+			return installed, removed, derr
+		}
+		if derr := l.checkSubcluster(sv.Subcluster); derr != nil {
+			return installed, removed, derr
+		}
+		if derr := l.replace(ctx, res.Video.Name, res, sv.Subcluster, nil); derr != nil {
+			return installed, removed, derr
+		}
+		installed++
+	}
+	return installed, removed, nil
+}
+
 // Durable reports whether registrations are write-ahead logged (the
 // library came from Recover).
 func (l *Library) Durable() bool {

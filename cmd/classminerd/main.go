@@ -54,10 +54,12 @@ import (
 	"classminer"
 	"classminer/internal/access"
 	"classminer/internal/metrics"
+	"classminer/internal/repl"
 	"classminer/internal/server"
 	"classminer/internal/shard"
 	"classminer/internal/store"
 	"classminer/internal/synth"
+	"classminer/internal/wal"
 )
 
 // library is everything the daemon needs from its storage backend: the
@@ -127,6 +129,16 @@ type config struct {
 	shards    int
 	shardsSet bool // -shards given explicitly (mismatch checks need to know)
 
+	// replication
+	role          string
+	leaderURL     string
+	replToken     string
+	followerID    string
+	replLagReady  int64
+	replPinBudget int64
+	walPressure   int64
+	replLagBytes  int64
+
 	// write-path index maintenance
 	rebuildAfter    float64
 	rebuildDebounce time.Duration
@@ -187,6 +199,14 @@ func main() {
 	flag.Int64Var(&cfg.ckptRecords, "checkpoint-records", 10000, "auto-checkpoint once this many WAL records accumulate (negative disables)")
 	flag.Int64Var(&cfg.compactBytes, "compact-bytes", 8<<20, "auto-compact sealed WAL segments once this many dead bytes accumulate (negative disables)")
 	flag.IntVar(&cfg.shards, "shards", 1, "library shards, each with its own WAL/index/rebuild state (fixed at data-dir creation; 1 = classic single library)")
+	flag.StringVar(&cfg.role, "role", "leader", "replication role: leader (serves /v1/repl/* when durable) or follower (replicates from -leader-url, read-only until promoted)")
+	flag.StringVar(&cfg.leaderURL, "leader-url", "", "leader base URL a follower replicates from (required with -role follower)")
+	flag.StringVar(&cfg.replToken, "repl-token", "", "bearer token the follower presents to the leader (needs administrator clearance there)")
+	flag.StringVar(&cfg.followerID, "follower-id", "follower", "this follower's id in the leader's pin table; keep it stable across restarts")
+	flag.Int64Var(&cfg.replLagReady, "repl-lag-ready", 0, "record lag at or under which a follower's /readyz reports ready")
+	flag.Int64Var(&cfg.replPinBudget, "repl-pin-budget-bytes", 0, "max unshipped WAL bytes a follower's pin may hold against compaction before eviction (0 = 512 MiB default, negative disables)")
+	flag.Int64Var(&cfg.walPressure, "wal-pressure-bytes", 0, "shed ingest with 503 once un-checkpointed or dead WAL bytes exceed this (0 disables)")
+	flag.Int64Var(&cfg.replLagBytes, "repl-lag-bytes", 0, "shed ingest with 503 once the worst follower's replication lag exceeds this many bytes (0 disables)")
 	flag.Var(&tokens, "token", "token=name:clearance[:role1|role2] (repeatable)")
 	flag.Parse()
 	cfg.tokens = tokens.users
@@ -234,32 +254,76 @@ func run(cfg config) error {
 		reg = metrics.NewRegistry()
 	}
 
+	if cfg.role != "leader" && cfg.role != "follower" {
+		return fmt.Errorf("unknown -role %q (want leader or follower)", cfg.role)
+	}
+
 	lib, err := buildLibrary(logger, analyzer, cfg, reg)
 	if err != nil {
 		return err
 	}
 	defer lib.Close()
 
+	// Any durable node exports its WAL to followers — a leader serves them
+	// directly, and a follower that gets promoted starts serving its own
+	// downstream replicas without a restart.
+	var hub *repl.Hub
+	if engines := libEngines(lib); engines != nil {
+		hub, err = repl.NewHub(engines, reg, logger.Printf)
+		if err != nil {
+			return err
+		}
+	}
+	var follower *repl.Follower
+	if cfg.role == "follower" {
+		if cfg.dataDir == "" {
+			return fmt.Errorf("-role follower requires -data-dir: a follower journals every replicated record so it can be promoted")
+		}
+		if cfg.leaderURL == "" {
+			return fmt.Errorf("-role follower requires -leader-url")
+		}
+		follower, err = repl.Start(repl.Options{
+			LeaderURL:       strings.TrimSuffix(cfg.leaderURL, "/"),
+			Token:           cfg.replToken,
+			ID:              cfg.followerID,
+			Dir:             cfg.dataDir,
+			Appliers:        libAppliers(lib),
+			ReadyLagRecords: cfg.replLagReady,
+			Metrics:         reg,
+			Logf:            logger.Printf,
+		})
+		if err != nil {
+			return err
+		}
+		defer follower.Close()
+		logger.Printf("replicating from %s as %q (%d shards)", cfg.leaderURL, cfg.followerID, len(libAppliers(lib)))
+	}
+
 	opts := server.Options{
-		Tokens:          cfg.tokens,
-		CacheSize:       cfg.cacheSize,
-		Workers:         cfg.workers,
-		QueueDepth:      cfg.queue,
-		SnapshotPath:    cfg.save,
-		RebuildBudget:   cfg.rebuildAfter,
-		RebuildDebounce: cfg.rebuildDebounce,
-		Metrics:         reg,
-		DisableMetrics:  !cfg.metrics,
-		EnablePprof:     cfg.pprof,
-		Rate:            cfg.rate,
-		Burst:           cfg.burst,
-		MaxInflight:     cfg.maxInflight,
-		ReqTimeout:      cfg.reqTimeout,
-		MemBudget:       cfg.memBudget,
-		TraceSample:     cfg.traceSample,
-		TraceSlow:       cfg.traceSlow,
-		TraceRing:       cfg.traceRing,
-		Logf:            logger.Printf,
+		Tokens:           cfg.tokens,
+		CacheSize:        cfg.cacheSize,
+		Workers:          cfg.workers,
+		QueueDepth:       cfg.queue,
+		SnapshotPath:     cfg.save,
+		RebuildBudget:    cfg.rebuildAfter,
+		RebuildDebounce:  cfg.rebuildDebounce,
+		Metrics:          reg,
+		DisableMetrics:   !cfg.metrics,
+		EnablePprof:      cfg.pprof,
+		Rate:             cfg.rate,
+		Burst:            cfg.burst,
+		MaxInflight:      cfg.maxInflight,
+		ReqTimeout:       cfg.reqTimeout,
+		MemBudget:        cfg.memBudget,
+		TraceSample:      cfg.traceSample,
+		TraceSlow:        cfg.traceSlow,
+		TraceRing:        cfg.traceRing,
+		ReplHub:          hub,
+		Follower:         follower,
+		LeaderURL:        strings.TrimSuffix(cfg.leaderURL, "/"),
+		WALPressureBytes: cfg.walPressure,
+		ReplLagBytes:     cfg.replLagBytes,
+		Logf:             logger.Printf,
 	}
 	if cfg.traceSlow == 0 {
 		// The flag's "0 keeps every trace" spelling maps to the Options'
@@ -345,6 +409,7 @@ func buildLibrary(logger *log.Logger, analyzer *classminer.Analyzer, cfg config,
 		wopts.CheckpointBytes = cfg.ckptBytes
 		wopts.CheckpointRecords = cfg.ckptRecords
 		wopts.CompactBytes = cfg.compactBytes
+		wopts.ReplPinBudgetBytes = cfg.replPinBudget
 		wopts.Metrics = reg
 		wopts.Logf = logger.Printf
 		// A SHARDS manifest marks a sharded layout and pins its count; it
@@ -435,6 +500,43 @@ func buildLibrary(logger *log.Logger, analyzer *classminer.Analyzer, cfg config,
 		logger.Printf("index built over %d shots", lib.Stats().IndexedShots)
 	}
 	return lib, nil
+}
+
+// libEngines exposes the per-shard WAL engines behind the library for the
+// replication hub, or nil when the library (or any shard) is not durable.
+func libEngines(lib library) []*wal.Engine {
+	switch l := lib.(type) {
+	case *classminer.Library:
+		if e := l.Engine(); e != nil {
+			return []*wal.Engine{e}
+		}
+	case *shard.Library:
+		engines := l.Engines()
+		for _, e := range engines {
+			if e == nil {
+				return nil
+			}
+		}
+		return engines
+	}
+	return nil
+}
+
+// libAppliers exposes the per-shard replication targets behind the library
+// (the shard layout must match the leader's, which the pull protocol
+// cross-checks via X-Repl-Shards).
+func libAppliers(lib library) []repl.Applier {
+	switch l := lib.(type) {
+	case *classminer.Library:
+		return []repl.Applier{l}
+	case *shard.Library:
+		out := make([]repl.Applier, l.ShardCount())
+		for i := range out {
+			out[i] = l.ShardAt(i)
+		}
+		return out
+	}
+	return nil
 }
 
 // importSnapshot registers every video of a legacy single-file snapshot

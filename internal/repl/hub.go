@@ -1,0 +1,411 @@
+// Package repl replicates a durable library from one leader to N read
+// replicas by shipping the leader's write-ahead log. The leader side (Hub)
+// exports each shard's WAL over two long-poll HTTP endpoints; the follower
+// side (Follower) pulls framed batches, applies the typed records through
+// the same incremental mutation paths the leader used, and journals them
+// into its own WAL — so a follower is itself durable, crash-recoverable,
+// and promotable to a write-accepting leader the moment the old one dies.
+//
+// The protocol is deliberately dumb: a follower's whole state is one durable
+// cursor per shard — (segment, offset, epoch) in the leader's log — persisted
+// only after a batch is fully applied. Pulling from cursor C doubles as the
+// durability acknowledgement for everything before C, which is what lets the
+// leader's compaction and checkpoint pruning advance past shipped log (see
+// the pinning rules in internal/wal/repl.go). Every failure collapses onto
+// two recoveries: retry with exponential backoff (transient transport or
+// leader errors), or re-seed from the leader's newest checkpoint snapshot
+// (HTTP 410 — the cursor fell behind the compaction horizon, the pin was
+// evicted past its budget, or the leader lost a relaxed-sync tail). A
+// follower crash mid-batch needs nothing special at all: the cursor was not
+// advanced, the batch is re-pulled, and application is idempotent.
+package repl
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"classminer/internal/metrics"
+	"classminer/internal/trace"
+	"classminer/internal/wal"
+)
+
+// Response headers carrying the replication cursor and lag alongside the
+// framed body. The cursor headers on a 200 name the position the follower
+// should pull from next (and persist once the batch is applied); on a 204
+// they echo the request cursor.
+const (
+	HeaderSegment    = "X-Repl-Segment"
+	HeaderOffset     = "X-Repl-Offset"
+	HeaderEpoch      = "X-Repl-Epoch"
+	HeaderLagRecords = "X-Repl-Lag-Records"
+	HeaderLagBytes   = "X-Repl-Lag-Bytes"
+	// HeaderShards is the leader's shard count; a follower cross-checks it
+	// against its own applier count so a topology mismatch fails loudly
+	// instead of interleaving shards wrongly.
+	HeaderShards = "X-Repl-Shards"
+	// HeaderSnapshot on a snapshot response is "full" when a checkpoint body
+	// follows and "none" when the leader has never checkpointed (the log
+	// alone is the full history).
+	HeaderSnapshot = "X-Repl-Snapshot"
+)
+
+// Pull-protocol bounds: the default and maximum batch size one pull may
+// request, and the longest a pull may park waiting for new log.
+const (
+	defaultBatchBytes = 1 << 20
+	maxBatchBytes     = 8 << 20
+	maxPullWait       = 55 * time.Second
+)
+
+// Hub is the leader side: one HTTP-facing exporter over the per-shard WAL
+// engines. The server routes /v1/repl/pull and /v1/repl/snapshot here after
+// authentication; the Hub owns everything protocol-level below that.
+type Hub struct {
+	engines []*wal.Engine
+	reg     *metrics.Registry
+	logf    func(string, ...any)
+
+	mu     sync.Mutex
+	gauges map[string]bool // (follower, shard) pairs with registered lag gauges
+}
+
+// NewHub builds the leader-side exporter over one WAL engine per shard.
+// Every engine must be non-nil: replication is only meaningful on a durable
+// library.
+func NewHub(engines []*wal.Engine, reg *metrics.Registry, logf func(string, ...any)) (*Hub, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("repl: no engines")
+	}
+	for i, e := range engines {
+		if e == nil {
+			return nil, fmt.Errorf("repl: shard %d has no WAL engine (library not durable)", i)
+		}
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Hub{engines: engines, reg: reg, logf: logf, gauges: map[string]bool{}}, nil
+}
+
+// Shards is the leader's shard count (one replication stream each).
+func (h *Hub) Shards() int { return len(h.engines) }
+
+// MaxLag is the worst attached follower's backlog across every shard — the
+// signal the leader's write path sheds on when replication lag exceeds its
+// budget.
+func (h *Hub) MaxLag() (records, bytes int64) {
+	for _, e := range h.engines {
+		r, b := e.MaxPinLag()
+		if r > records {
+			records = r
+		}
+		if b > bytes {
+			bytes = b
+		}
+	}
+	return records, bytes
+}
+
+// ShardPins is one shard's attached followers, for /v1/stats.
+type ShardPins struct {
+	Shard     int            `json:"shard"`
+	Followers []wal.PinStats `json:"followers"`
+}
+
+// Stats reports every shard's attached followers (shards with none are
+// included with an empty list, so the view always shows the topology).
+func (h *Hub) Stats() []ShardPins {
+	out := make([]ShardPins, len(h.engines))
+	for i, e := range h.engines {
+		out[i] = ShardPins{Shard: i, Followers: e.Pins()}
+	}
+	return out
+}
+
+// validateFollowerID bounds follower identifiers: they become file-adjacent
+// label values and log fields, so keep them to a tame charset.
+func validateFollowerID(id string) error {
+	if id == "" {
+		return fmt.Errorf("repl: missing follower id")
+	}
+	if len(id) > 128 {
+		return fmt.Errorf("repl: follower id longer than 128 bytes")
+	}
+	for _, c := range id {
+		ok := c == '-' || c == '_' || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("repl: follower id %q has characters outside [A-Za-z0-9._-]", id)
+		}
+	}
+	return nil
+}
+
+// writeErr mirrors the server's uniform error envelope without importing it.
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, "{\n  \"error\": %q\n}\n", msg)
+}
+
+// pullParams is one parsed pull request.
+type pullParams struct {
+	follower string
+	shard    int
+	cur      wal.Cursor
+	wait     time.Duration
+	max      int64
+}
+
+func (h *Hub) parsePull(r *http.Request) (pullParams, error) {
+	q := r.URL.Query()
+	p := pullParams{follower: q.Get("follower"), max: defaultBatchBytes}
+	if err := validateFollowerID(p.follower); err != nil {
+		return p, err
+	}
+	if v := q.Get("shard"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return p, fmt.Errorf("repl: bad shard %q", v)
+		}
+		p.shard = n
+	}
+	if p.shard < 0 || p.shard >= len(h.engines) {
+		return p, fmt.Errorf("repl: shard %d outside [0,%d)", p.shard, len(h.engines))
+	}
+	var err error
+	if v := q.Get("segment"); v != "" {
+		if p.cur.Segment, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return p, fmt.Errorf("repl: bad segment %q", v)
+		}
+	}
+	if v := q.Get("offset"); v != "" {
+		if p.cur.Offset, err = strconv.ParseInt(v, 10, 64); err != nil || p.cur.Offset < 0 {
+			return p, fmt.Errorf("repl: bad offset %q", v)
+		}
+	}
+	if v := q.Get("epoch"); v != "" {
+		if p.cur.Epoch, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return p, fmt.Errorf("repl: bad epoch %q", v)
+		}
+	}
+	if v := q.Get("wait"); v != "" {
+		if p.wait, err = time.ParseDuration(v); err != nil || p.wait < 0 {
+			return p, fmt.Errorf("repl: bad wait %q", v)
+		}
+		if p.wait > maxPullWait {
+			p.wait = maxPullWait
+		}
+	}
+	if v := q.Get("max"); v != "" {
+		if p.max, err = strconv.ParseInt(v, 10, 64); err != nil || p.max <= 0 {
+			return p, fmt.Errorf("repl: bad max %q", v)
+		}
+		if p.max > maxBatchBytes {
+			p.max = maxBatchBytes
+		}
+	}
+	return p, nil
+}
+
+// setCursorHeaders stamps the response with a cursor plus the follower's
+// remaining backlog on this shard's engine.
+func (h *Hub) setCursorHeaders(w http.ResponseWriter, eng *wal.Engine, follower string, cur wal.Cursor) {
+	hd := w.Header()
+	hd.Set(HeaderSegment, strconv.FormatUint(cur.Segment, 10))
+	hd.Set(HeaderOffset, strconv.FormatInt(cur.Offset, 10))
+	hd.Set(HeaderEpoch, strconv.FormatUint(cur.Epoch, 10))
+	hd.Set(HeaderShards, strconv.Itoa(len(h.engines)))
+	for _, p := range eng.Pins() {
+		if p.ID == follower {
+			hd.Set(HeaderLagRecords, strconv.FormatInt(p.LagRecords, 10))
+			hd.Set(HeaderLagBytes, strconv.FormatInt(p.LagBytes, 10))
+			break
+		}
+	}
+}
+
+// ServePull answers GET /v1/repl/pull: ship the framed records between the
+// follower's cursor and the shard's durable tip. 200 carries a batch and the
+// next cursor; 204 means the follower is at the tip and the long-poll window
+// elapsed; 410 Gone means the log cannot serve the cursor any more and the
+// follower must re-seed from a snapshot.
+func (h *Hub) ServePull(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	p, err := h.parsePull(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	eng := h.engines[p.shard]
+	sp := trace.StartSpan(r.Context(), "repl.ship")
+	defer sp.End()
+
+	cur := p.cur
+	deadline := time.Now().Add(p.wait)
+	attached := false
+	for {
+		batch, next, rerr := eng.ReadFrom(p.follower, cur, p.max)
+		switch {
+		case errors.Is(rerr, wal.ErrNotAttached):
+			if attached {
+				// Attached this very request and evicted already: the pin
+				// budget is rejecting this follower, don't loop on it.
+				writeErr(w, http.StatusGone, wal.ErrBehindHorizon.Error())
+				return
+			}
+			ac, aerr := eng.Attach(p.follower, cur)
+			if aerr != nil {
+				if errors.Is(aerr, wal.ErrBehindHorizon) {
+					writeErr(w, http.StatusGone, aerr.Error())
+					return
+				}
+				writeErr(w, http.StatusInternalServerError, aerr.Error())
+				return
+			}
+			h.ensureLagGauges(p.follower, p.shard, eng)
+			cur = ac // a zero cursor attaches at the oldest live segment
+			attached = true
+			continue
+		case errors.Is(rerr, wal.ErrBehindHorizon):
+			writeErr(w, http.StatusGone, rerr.Error())
+			return
+		case errors.Is(rerr, wal.ErrClosed):
+			writeErr(w, http.StatusServiceUnavailable, rerr.Error())
+			return
+		case rerr != nil:
+			writeErr(w, http.StatusInternalServerError, rerr.Error())
+			return
+		}
+		if len(batch) > 0 {
+			h.setCursorHeaders(w, eng, p.follower, next)
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write(batch)
+			return
+		}
+		// At the tip: park on the durable-advance notification until data
+		// arrives, the long-poll window elapses, or the client hangs up.
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			h.setCursorHeaders(w, eng, p.follower, cur)
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		notify := eng.DurableNotify()
+		timer := time.NewTimer(remain)
+		select {
+		case <-notify:
+		case <-timer.C:
+		case <-r.Context().Done():
+		}
+		timer.Stop()
+		if r.Context().Err() != nil {
+			h.setCursorHeaders(w, eng, p.follower, cur)
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+	}
+}
+
+// ServeSnapshot answers GET /v1/repl/snapshot: register the follower's pin
+// at the current horizon and stream the newest checkpoint snapshot (empty
+// body, HeaderSnapshot "none", when no checkpoint exists yet). The cursor
+// headers name the log position the snapshot's state continues from.
+func (h *Hub) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	q := r.URL.Query()
+	follower := q.Get("follower")
+	if err := validateFollowerID(follower); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	shard := 0
+	if v := q.Get("shard"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Sprintf("repl: bad shard %q", v))
+			return
+		}
+		shard = n
+	}
+	if shard < 0 || shard >= len(h.engines) {
+		writeErr(w, http.StatusBadRequest, fmt.Sprintf("repl: shard %d outside [0,%d)", shard, len(h.engines)))
+		return
+	}
+	eng := h.engines[shard]
+	sp := trace.StartSpan(r.Context(), "repl.seed")
+	defer sp.End()
+
+	rc, cur, err := eng.Seed(follower)
+	if err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			writeErr(w, http.StatusServiceUnavailable, err.Error())
+		} else {
+			writeErr(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	h.ensureLagGauges(follower, shard, eng)
+	h.setCursorHeaders(w, eng, follower, cur)
+	if rc == nil {
+		w.Header().Set(HeaderSnapshot, "none")
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	defer rc.Close()
+	w.Header().Set(HeaderSnapshot, "full")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if _, err := io.Copy(w, rc); err != nil {
+		// Headers are gone; all we can do is log the truncated stream. The
+		// follower's reseed will fail to parse and retry.
+		h.logf("repl: streaming snapshot to %q: %v", follower, err)
+	}
+	h.logf("repl: follower %q seeded shard %d at segment %d", follower, shard, cur.Segment)
+}
+
+// ensureLagGauges registers the per-follower lag gauges on first sight of a
+// (follower, shard) pair. GaugeFunc re-registration replaces the callback,
+// so a follower re-attaching after a leader restart simply re-binds.
+func (h *Hub) ensureLagGauges(follower string, shard int, eng *wal.Engine) {
+	if h.reg == nil {
+		return
+	}
+	key := follower + "\x00" + strconv.Itoa(shard)
+	h.mu.Lock()
+	seen := h.gauges[key]
+	h.gauges[key] = true
+	h.mu.Unlock()
+	if seen {
+		return
+	}
+	labels := []string{"follower", follower, "shard", strconv.Itoa(shard)}
+	pinLag := func(sel func(wal.PinStats) int64) func() float64 {
+		return func() float64 {
+			for _, p := range eng.Pins() {
+				if p.ID == follower {
+					return float64(sel(p))
+				}
+			}
+			return 0 // detached or evicted: no backlog held against the log
+		}
+	}
+	h.reg.GaugeFunc("repl_lag_records",
+		"Unshipped WAL records an attached follower is behind, per follower and shard.",
+		pinLag(func(p wal.PinStats) int64 { return p.LagRecords }), labels...)
+	h.reg.GaugeFunc("repl_lag_bytes",
+		"Unshipped WAL bytes an attached follower is behind, per follower and shard.",
+		pinLag(func(p wal.PinStats) int64 { return p.LagBytes }), labels...)
+}

@@ -22,10 +22,14 @@ const (
 	rejConcurrency
 	rejDeadline
 	rejMemory
+	rejWALPressure
+	rejReplLag
 	numRejectReasons
 )
 
-var rejectReasonNames = [numRejectReasons]string{"rate_limit", "concurrency", "deadline", "memory"}
+var rejectReasonNames = [numRejectReasons]string{
+	"rate_limit", "concurrency", "deadline", "memory", "wal_pressure", "repl_lag",
+}
 
 // tierMultiplier widens the base per-token limit by clearance: a clinician
 // mid-procedure gets more headroom than an anonymous browser, and the
@@ -148,7 +152,16 @@ func (a *admission) limitFor(tok string, c access.Clearance) admit.Limit {
 func routeClass(method, path string) (class admit.Class, exempt bool) {
 	path = strings.TrimSuffix(path, "/")
 	switch path {
-	case "/healthz", "/metrics":
+	case "/healthz", "/readyz", "/metrics":
+		// /readyz joins /healthz: a load balancer probing readiness through a
+		// rate limiter would flap the whole node in and out of rotation.
+		return 0, true
+	}
+	if strings.HasPrefix(path, "/v1/repl/") {
+		// The replication stream is internal traffic: long-poll pulls parked
+		// for tens of seconds would starve the admin concurrency gate, and
+		// rate-limiting a catching-up follower only lengthens the unsafe
+		// window. Authentication (Administrator clearance) still applies.
 		return 0, true
 	}
 	switch {

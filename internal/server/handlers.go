@@ -61,6 +61,36 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 }
 
+// --- GET /readyz -------------------------------------------------------------
+
+// handleReady is the readiness probe, distinct from /healthz liveness:
+// /healthz answers "the process is up" and must never fail while the server
+// can respond at all, while /readyz answers "route traffic here". A leader
+// is ready as soon as it serves (recovery completes before the listener
+// opens); a follower is ready only once every shard is seeded and within
+// the configured replication-lag threshold. Load balancers and the failover
+// runbook key off this endpoint.
+func (s *Server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	resp := map[string]any{
+		"role":    s.role(),
+		"durable": s.lib.Durable(),
+	}
+	ready, reason := true, ""
+	if f := s.opts.Follower; f != nil && s.isFollower() {
+		ready, reason = f.Ready()
+		resp["repl"] = f.Stats()
+	}
+	resp["ready"] = ready
+	if reason != "" {
+		resp["reason"] = reason
+	}
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
 // --- GET /v1/stats ---------------------------------------------------------
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -81,6 +111,19 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 			"stats":     s.tracer.Stats(),
 			"exemplars": s.tracer.Exemplars(),
 		}
+	}
+	if s.opts.ReplHub != nil || s.opts.Follower != nil {
+		rs := map[string]any{"role": s.role()}
+		if h := s.opts.ReplHub; h != nil {
+			recs, bts := h.MaxLag()
+			rs["followers"] = h.Stats()
+			rs["maxLagRecords"] = recs
+			rs["maxLagBytes"] = bts
+		}
+		if f := s.opts.Follower; f != nil && s.isFollower() {
+			rs["shards"] = f.Stats()
+		}
+		stats["repl"] = rs
 	}
 	writeJSON(w, http.StatusOK, stats)
 }
@@ -309,6 +352,9 @@ func (s *Server) handleDeleteVideo(w http.ResponseWriter, r *http.Request, name 
 	if !s.requireClearance(w, r, s.opts.IngestClearance) {
 		return
 	}
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	if err := s.lib.DeleteVideoAsCtx(r.Context(), userOf(r), name); err != nil {
 		switch {
 		case errors.Is(err, classminer.ErrUnknownVideo):
@@ -462,6 +508,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	scratch := hitsPool.Get().(*[]classminer.SearchHit)
 	hits, stats, err := s.lib.SearchIntoCtx(r.Context(), (*scratch)[:0], u, query, k)
+	if err != nil && s.healColdIndex() {
+		hits, stats, err = s.lib.SearchIntoCtx(r.Context(), (*scratch)[:0], u, query, k)
+	}
 	if err != nil {
 		hitsPool.Put(scratch)
 		writeError(w, http.StatusServiceUnavailable, err.Error())
@@ -563,6 +612,9 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		hits, stats, err := s.lib.SearchBatch(u, missQueries, k)
+		if err != nil && s.healColdIndex() {
+			hits, stats, err = s.lib.SearchBatch(u, missQueries, k)
+		}
 		if err != nil {
 			writeError(w, http.StatusServiceUnavailable, err.Error())
 			return
@@ -582,6 +634,19 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, batchSearchResponse{Results: results})
+}
+
+// healColdIndex recovers the one search failure that is the server's own
+// rather than the client's: a populated library whose index has never been
+// fit — a read replica that has only ever applied replicated records, or a
+// freshly recovered process before its first local mutation. It fits the
+// index synchronously (single-flight via the rebuilder) and reports whether
+// retrying the search is worthwhile.
+func (s *Server) healColdIndex() bool {
+	if s.lib.Size() == 0 || !s.lib.IndexStale() {
+		return false
+	}
+	return s.rebuilder.EnsureLive() == nil
 }
 
 // featureDim returns the library's shot-feature dimensionality (0 when no
@@ -674,6 +739,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if !s.requireClearance(w, r, s.opts.IngestClearance) {
 		return
 	}
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	// The memory watchdog's last stage: refuse new data while reads keep
 	// answering. Recovery is automatic — once the heap drops back under the
 	// budget the watchdog steps down and ingest reopens.
@@ -682,6 +750,17 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "5")
 		writeError(w, http.StatusServiceUnavailable,
 			"server under memory pressure; ingest temporarily disabled")
+		return
+	}
+	// Durable-backlog backpressure, same shape as the memory stage: when the
+	// WAL outruns its checkpoint/compaction budget, or an attached follower's
+	// replication lag exceeds its budget, shed new data instead of digging
+	// the hole deeper. Both conditions drain on their own (background
+	// checkpointer/compactor, follower pulls), so Retry-After is honest.
+	if reason, msg, hit := s.writeBackpressure(); hit {
+		s.admit.countReject(reason)
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, msg)
 		return
 	}
 	var req ingestRequest
@@ -897,4 +976,92 @@ func (s *Server) handleAdminCompact(w http.ResponseWriter, r *http.Request) {
 	ws, _ := s.lib.WALStats()
 	s.opts.Logf("admin compaction: %d records (%d bytes) dropped", cs.RecordsDropped, cs.BytesFreed)
 	writeJSON(w, http.StatusOK, map[string]any{"compacted": cs, "wal": ws})
+}
+
+// --- replication: /v1/repl/*, /v1/admin/promote ------------------------------
+
+// handleReplPull and handleReplSnapshot route to the replication hub after
+// the clearance gate — the protocol itself (cursor validation, long-poll,
+// 410 semantics) lives in internal/repl, so its tests exercise the real
+// wire format without a Server.
+func (s *Server) handleReplPull(w http.ResponseWriter, r *http.Request) {
+	if !s.requireClearance(w, r, classminer.Administrator) {
+		return
+	}
+	if s.opts.ReplHub == nil {
+		writeError(w, http.StatusNotImplemented, "replication not enabled (leader needs -data-dir)")
+		return
+	}
+	s.opts.ReplHub.ServePull(w, r)
+}
+
+func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !s.requireClearance(w, r, classminer.Administrator) {
+		return
+	}
+	if s.opts.ReplHub == nil {
+		writeError(w, http.StatusNotImplemented, "replication not enabled (leader needs -data-dir)")
+		return
+	}
+	s.opts.ReplHub.ServeSnapshot(w, r)
+}
+
+// handleAdminPromote flips a follower into a write-accepting leader: the
+// pull loops stop (blocking until the in-flight batch is applied), and the
+// write path opens. Idempotent — promoting a leader (or twice) reports the
+// current role without error, so a failover script can fire it blindly.
+// The node's own WAL journaled every replicated record, so no state needs
+// rebuilding; what was applied before the old leader died is exactly what
+// the new leader serves.
+func (s *Server) handleAdminPromote(w http.ResponseWriter, r *http.Request) {
+	if !s.requireClearance(w, r, classminer.Administrator) {
+		return
+	}
+	if s.opts.Follower == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"role": s.role(), "promoted": false})
+		return
+	}
+	promoted := s.promoted.CompareAndSwap(false, true)
+	if promoted {
+		s.opts.Follower.Promote()
+		s.opts.Logf("promoted to leader; replication stopped")
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"role": s.role(), "promoted": promoted})
+}
+
+// rejectFollowerWrite refuses mutations on an unpromoted follower, pointing
+// the client at the leader. 503 rather than 403: the client's request is
+// legitimate, this node just isn't the one that takes it (and will be, the
+// moment it is promoted).
+func (s *Server) rejectFollowerWrite(w http.ResponseWriter) bool {
+	if !s.isFollower() {
+		return false
+	}
+	if s.opts.LeaderURL != "" {
+		w.Header().Set("X-Repl-Leader", s.opts.LeaderURL)
+	}
+	writeError(w, http.StatusServiceUnavailable, "read-only follower; send writes to the leader")
+	return true
+}
+
+// writeBackpressure reports whether the durable write path should shed new
+// ingest, and why: the WAL's un-checkpointed or dead bytes exceeded
+// WALPressureBytes, or an attached follower's unshipped backlog exceeded
+// ReplLagBytes.
+func (s *Server) writeBackpressure() (rejectReason, string, bool) {
+	if b := s.opts.WALPressureBytes; b > 0 {
+		if ws, ok := s.lib.WALStats(); ok && (ws.Bytes > b || ws.DeadBytes > b) {
+			return rejWALPressure, fmt.Sprintf(
+				"WAL backlog %d bytes (%d dead) exceeds budget %d; retry after checkpoint/compaction",
+				ws.Bytes, ws.DeadBytes, b), true
+		}
+	}
+	if b := s.opts.ReplLagBytes; b > 0 && s.opts.ReplHub != nil {
+		if _, lag := s.opts.ReplHub.MaxLag(); lag > b {
+			return rejReplLag, fmt.Sprintf(
+				"replication lag %d bytes exceeds budget %d; retry once followers catch up",
+				lag, b), true
+		}
+	}
+	return 0, "", false
 }

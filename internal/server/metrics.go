@@ -14,6 +14,7 @@ import (
 // anything the router would 404 lands on "other".
 var routeTemplates = []string{
 	"/healthz",
+	"/readyz",
 	"/v1/stats",
 	"/v1/videos",
 	"/v1/videos/{name}",
@@ -24,6 +25,9 @@ var routeTemplates = []string{
 	"/v1/admin/save",
 	"/v1/admin/checkpoint",
 	"/v1/admin/compact",
+	"/v1/admin/promote",
+	"/v1/repl/pull",
+	"/v1/repl/snapshot",
 	"/metrics",
 	"/debug/pprof",
 	"/debug/traces",
@@ -36,9 +40,9 @@ var routeTemplates = []string{
 func routeTemplate(path string) string {
 	path = strings.TrimSuffix(path, "/")
 	switch path {
-	case "/healthz", "/v1/stats", "/v1/videos", "/v1/search", "/v1/search/batch",
-		"/v1/admin/save", "/v1/admin/checkpoint", "/v1/admin/compact", "/metrics",
-		"/debug/traces":
+	case "/healthz", "/readyz", "/v1/stats", "/v1/videos", "/v1/search", "/v1/search/batch",
+		"/v1/admin/save", "/v1/admin/checkpoint", "/v1/admin/compact", "/v1/admin/promote",
+		"/v1/repl/pull", "/v1/repl/snapshot", "/metrics", "/debug/traces":
 		return path
 	}
 	switch {

@@ -52,8 +52,9 @@ func token(r *http.Request) string {
 func (s *Server) withAuth(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		// Match the route normalisation ("/healthz/" serves health too) so
-		// liveness probes never need credentials in any spelling.
-		if strings.TrimSuffix(r.URL.Path, "/") == "/healthz" {
+		// liveness and readiness probes never need credentials in any
+		// spelling.
+		if p := strings.TrimSuffix(r.URL.Path, "/"); p == "/healthz" || p == "/readyz" {
 			next.ServeHTTP(w, r)
 			return
 		}

@@ -27,6 +27,7 @@ import (
 	"classminer/internal/access"
 	"classminer/internal/admit"
 	"classminer/internal/metrics"
+	"classminer/internal/repl"
 	"classminer/internal/trace"
 )
 
@@ -71,6 +72,30 @@ type Options struct {
 	// Administrator-clearance callers. Off by default: profiles expose
 	// internals far beyond the API's policy filtering.
 	EnablePprof bool
+
+	// --- replication (see internal/repl and the README's "Replication &
+	// failover" section) ---
+
+	// ReplHub, when non-nil, exports the library's per-shard WAL to
+	// followers at GET /v1/repl/pull and /v1/repl/snapshot (both gated on
+	// Administrator clearance).
+	ReplHub *repl.Hub
+	// Follower, when non-nil, marks this node a read replica: ingest and
+	// delete are refused with 503 (pointing at LeaderURL) until
+	// POST /v1/admin/promote flips the role, and /readyz reports seeding
+	// state and replication lag.
+	Follower *repl.Follower
+	// LeaderURL is advertised to rejected writers on a follower via the
+	// X-Repl-Leader response header.
+	LeaderURL string
+	// WALPressureBytes sheds ingest with 503 + Retry-After once the WAL's
+	// un-checkpointed or dead bytes exceed it (0 disables). The background
+	// checkpointer/compactor drains the condition.
+	WALPressureBytes int64
+	// ReplLagBytes sheds ingest with 503 + Retry-After once the worst
+	// attached follower's unshipped backlog exceeds it (0 disables; needs
+	// ReplHub). Follower pulls drain the condition.
+	ReplLagBytes int64
 	// Logf receives one line per request and per job transition (nil = silent).
 	Logf func(format string, args ...any)
 
@@ -242,6 +267,21 @@ type Server struct {
 	started   time.Time
 	requests  atomic.Int64
 	featDim   atomic.Int64 // cached shot-feature dimensionality (0 = unresolved)
+	promoted  atomic.Bool  // follower flipped to leader via /v1/admin/promote
+}
+
+// isFollower reports whether the node is still a read replica (configured as
+// a follower and not yet promoted).
+func (s *Server) isFollower() bool {
+	return s.opts.Follower != nil && !s.promoted.Load()
+}
+
+// role is the node's current replication role for /readyz and /v1/stats.
+func (s *Server) role() string {
+	if s.isFollower() {
+		return "follower"
+	}
+	return "leader"
 }
 
 // New builds a Server over lib and starts its ingest workers.
@@ -265,6 +305,11 @@ func New(lib Library, opts Options) *Server {
 		})
 	}
 	s.rebuilder = newRebuilder(lib, opts.RebuildBudget, opts.RebuildDebounce, opts.Logf, s.tracer)
+	if opts.Follower != nil {
+		// Replicated applies bypass the mutation handlers, so they must
+		// kick the rebuilder themselves or a replica's index never refits.
+		opts.Follower.SetOnApply(s.rebuilder.Kick)
+	}
 	s.pool = newIngestPool(opts.Workers, opts.QueueDepth, s.runJob)
 	// Admission comes after cache and rebuilder: the watchdog's degrade
 	// callback manipulates both and may fire as soon as sampling starts.
@@ -301,6 +346,8 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case path == "/healthz":
 		s.handleHealth(w, r)
+	case path == "/readyz":
+		s.get(w, r, s.handleReady)
 	case path == "/v1/stats":
 		s.get(w, r, s.handleStats)
 	case path == "/v1/videos":
@@ -340,6 +387,12 @@ func (s *Server) route(w http.ResponseWriter, r *http.Request) {
 		s.post(w, r, s.handleAdminCheckpoint)
 	case path == "/v1/admin/compact":
 		s.post(w, r, s.handleAdminCompact)
+	case path == "/v1/admin/promote":
+		s.post(w, r, s.handleAdminPromote)
+	case path == "/v1/repl/pull":
+		s.get(w, r, s.handleReplPull)
+	case path == "/v1/repl/snapshot":
+		s.get(w, r, s.handleReplSnapshot)
 	case path == "/metrics":
 		s.get(w, r, s.handleMetrics)
 	case path == "/debug/pprof" || strings.HasPrefix(path, "/debug/pprof/"):

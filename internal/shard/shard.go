@@ -31,6 +31,7 @@ import (
 	"classminer"
 	"classminer/internal/metrics"
 	"classminer/internal/store"
+	"classminer/internal/wal"
 )
 
 // Shard is the narrow storage/index/search contract the router addresses.
@@ -73,6 +74,12 @@ type Shard interface {
 	Compact() (classminer.CompactStats, error)
 	WALStats() (classminer.WALStats, bool)
 
+	// Replication (per shard: the leader ships each shard's log as its own
+	// stream, and a follower applies each stream to the matching shard).
+	Engine() *wal.Engine
+	ApplyRecord(ctx context.Context, rec *wal.Record) error
+	ReseedFromSnapshot(ctx context.Context, r io.Reader) (installed, removed int, err error)
+
 	Instrument(reg *metrics.Registry)
 	Close() error
 }
@@ -100,6 +107,22 @@ func New(a *classminer.Analyzer, n int) (*Library, error) {
 
 // ShardCount reports how many shards the router owns.
 func (l *Library) ShardCount() int { return len(l.shards) }
+
+// ShardAt exposes shard i directly. Replication addresses shards by index —
+// the leader's shard i stream applies to the follower's shard i, because
+// content-based placement makes the partitioning identical on both sides.
+func (l *Library) ShardAt(i int) Shard { return l.shards[i] }
+
+// Engines returns every shard's WAL engine, indexed by shard (nil entries
+// when the library is not durable). The replication hub ships one stream
+// per engine.
+func (l *Library) Engines() []*wal.Engine {
+	engines := make([]*wal.Engine, len(l.shards))
+	for i, sh := range l.shards {
+		engines[i] = sh.Engine()
+	}
+	return engines
+}
 
 // maxShards bounds the shard count to something a single node can own;
 // beyond it a flag typo is far more likely than a real deployment.

@@ -96,11 +96,24 @@ func (e *Engine) Compact() (CompactResult, error) {
 	}
 	activeFile := e.active
 	deadRecs0, deadBytes0 := e.deadRecords, e.deadBytes
+	// Attached followers pin the log: nothing at or past the oldest pin may
+	// be rewritten or removed, because a mid-segment cursor is only valid
+	// against the exact bytes that were shipped. Followers whose backlog
+	// exceeds the pin budget are evicted first (they will re-seed), so one
+	// dead replica can never wedge reclamation. minPin can only rise while
+	// cpMu is held — Attach needs cpMu and ReadFrom moves cursors forward —
+	// so capturing it once here covers the whole pass.
+	e.evictOverBudgetLocked()
+	minPin := e.minPinLocked()
 	e.mu.Unlock()
 
 	res := CompactResult{SegmentsScanned: int(end - start)}
 	if end <= start {
 		return res, nil
+	}
+	reclaimEnd := end // sealed segments eligible for rewrite/removal: [start, reclaimEnd)
+	if minPin < reclaimEnd {
+		reclaimEnd = minPin
 	}
 
 	// The active segment's records are about to justify durably dropping
@@ -171,6 +184,34 @@ func (e *Engine) Compact() (CompactResult, error) {
 		return ok && sp.after(recPos{seg: idx, rec: ord})
 	}
 
+	// A rewrite invalidates every replication cursor pointing into the old
+	// bytes. The compaction epoch is bumped and committed *before* the first
+	// rewrite so a crash in between errs toward a needless follower re-seed,
+	// never toward replaying from a stale offset: any cursor minted under
+	// the old epoch is refused at re-attach. (Attached pins are unaffected —
+	// their segments are excluded from rewriting entirely.)
+	anyRewrite := false
+	for idx := start; idx < reclaimEnd && !anyRewrite; idx++ {
+		for ord, m := range sealed[idx] {
+			if deadAt(m.key, idx, int64(ord)) {
+				anyRewrite = true
+				break
+			}
+		}
+	}
+	if anyRewrite {
+		e.mu.Lock()
+		man := e.man
+		e.mu.Unlock()
+		man.Compactions++
+		if err := man.write(e.dir); err != nil {
+			return res, err
+		}
+		e.mu.Lock()
+		e.man = man
+		e.mu.Unlock()
+	}
+
 	// Pass 2: rewrite only the sealed segments that actually lost records
 	// (decided from pass 1's metadata — untouched segments are never read
 	// again). Each shrinking segment is re-read from disk so only its
@@ -207,6 +248,10 @@ func (e *Engine) Compact() (CompactResult, error) {
 	type dropTally struct{ records, bytes int64 }
 	deferred := map[uint64]dropTally{}
 	leadingEmpty := true
+	// Dead records in pinned segments are real waste this pass must leave in
+	// place; they are tallied so the residual estimate below still counts
+	// them (a later pass reclaims them once the pins move on).
+	var pinnedDeadRecs, pinnedDeadBytes int64
 	for idx := start; idx < end; idx++ {
 		var dropped, droppedBytes, total int64
 		for ord, m := range sealed[idx] {
@@ -215,6 +260,15 @@ func (e *Engine) Compact() (CompactResult, error) {
 				dropped++
 				droppedBytes += m.size
 			}
+		}
+		if idx >= reclaimEnd {
+			segBytes[idx] = total
+			if total > 0 {
+				leadingEmpty = false
+			}
+			pinnedDeadRecs += dropped
+			pinnedDeadBytes += droppedBytes
+			continue
 		}
 		keptBytes := total - droppedBytes
 		segBytes[idx] = keptBytes
@@ -269,7 +323,7 @@ func (e *Engine) Compact() (CompactResult, error) {
 	// Leading segments that emptied can leave the chain entirely; the
 	// manifest commit is what makes their removal crash-safe.
 	newFirst := start
-	for newFirst < end && segBytes[newFirst] == 0 {
+	for newFirst < reclaimEnd && segBytes[newFirst] == 0 {
 		newFirst++
 	}
 	if newFirst > start {
@@ -323,9 +377,14 @@ func (e *Engine) Compact() (CompactResult, error) {
 	// consumed, and the clamped per-segment decrements above keep it
 	// non-negative.
 	e.mu.Lock()
-	e.deadRecords = deadActiveRecs + (e.deadRecords - deadRecs0 + decRecs)
-	e.deadBytes = deadActiveBytes + (e.deadBytes - deadBytes0 + decBytes)
-	e.deadActiveBytes = deadActiveBytes
+	e.deadRecords = deadActiveRecs + pinnedDeadRecs + (e.deadRecords - deadRecs0 + decRecs)
+	e.deadBytes = deadActiveBytes + pinnedDeadBytes + (e.deadBytes - deadBytes0 + decBytes)
+	// Pinned dead bytes are as unreachable as active-side ones until the
+	// pins move on, so fold them into the trigger's residue too — a lagging
+	// follower must not convert the dead backlog into a loop of futile
+	// passes. (Rotation still zeroes the residue; at worst that costs one
+	// re-scan per rotation while a pin holds the log.)
+	e.deadActiveBytes = deadActiveBytes + pinnedDeadBytes
 	e.mu.Unlock()
 
 	if res.RecordsDropped > 0 || res.SegmentsRemoved > 0 {

@@ -103,6 +103,16 @@ type Engine struct {
 	// way a crash would).
 	compactHook func(stage string, seg uint64) error
 
+	// Replication state (repl.go): attached follower pins keyed by follower
+	// id, the lazily created durable-advance broadcast channel long-polling
+	// pullers park on, and the low-water mark below which checkpoint pruning
+	// has already swept (pinned segments survive below FirstSegment until
+	// their followers move past them; pruneFloor lets the next checkpoint
+	// reclaim them).
+	pins       map[string]*replPin
+	durableCh  chan struct{}
+	pruneFloor uint64
+
 	// met holds the engine's instruments (see registerMetrics); the zero
 	// value is inert.
 	met engineMetrics
@@ -143,6 +153,7 @@ func Open(dir string, opts Options) (*Engine, error) {
 		lock:        lock,
 		man:         man,
 		segStart:    man.FirstSegment,
+		pruneFloor:  man.FirstSegment,
 		kick:        make(chan struct{}, 1),
 		compactKick: make(chan struct{}, 1),
 		done:        make(chan struct{}),
@@ -543,6 +554,9 @@ func (e *Engine) Begin(payload []byte) (Commit, error) {
 	}
 	if e.opts.Sync != SyncAlways {
 		e.dirty = true
+		// The relaxed policies acknowledge at append time, so the record is
+		// immediately shippable to followers.
+		e.advancePinsLocked(1, n)
 		e.mu.Unlock()
 		return Commit{}, nil
 	}
@@ -647,6 +661,7 @@ func (e *Engine) leadCommit(b *syncBatch) error {
 		}
 		e.unsyncedRecords -= recs
 		e.unsyncedBytes -= bytes
+		e.advancePinsLocked(recs, bytes)
 		e.mu.Unlock()
 		e.syncMu.Unlock()
 		e.met.batch.Observe(float64(recs))
@@ -773,6 +788,7 @@ func (e *Engine) rotateLocked() error {
 		e.curBatch = nil
 		b.commit(nil)
 	}
+	e.advancePinsLocked(e.unsyncedRecords, e.unsyncedBytes)
 	e.unsyncedRecords, e.unsyncedBytes = 0, 0
 	e.durableSize = e.activeSize
 	next := e.activeIdx + 1
@@ -840,8 +856,16 @@ func (e *Engine) Checkpoint() error {
 	}
 	cut := e.activeIdx
 	gen := e.man.Generation + 1
+	comps := e.man.Compactions
 	prevRecords, prevBytes := e.lagRecords, e.lagBytes
 	e.lagRecords, e.lagBytes = 0, 0
+	// Followers too far behind to wait for forfeit their pins now (their
+	// next pull re-seeds from the snapshot about to be written); surviving
+	// pins cap the prune below. minPin only rises while cpMu is held —
+	// Attach needs cpMu and ReadFrom moves cursors forward — so capturing it
+	// here is safe for the whole checkpoint.
+	e.evictOverBudgetLocked()
+	minPin := e.minPinLocked()
 	e.mu.Unlock()
 	e.syncMu.Unlock()
 
@@ -856,7 +880,7 @@ func (e *Engine) Checkpoint() error {
 		restoreLag()
 		return err
 	}
-	man := manifest{Version: manifestVersion, Generation: gen, Snapshot: snap, FirstSegment: cut}
+	man := manifest{Version: manifestVersion, Generation: gen, Snapshot: snap, FirstSegment: cut, Compactions: comps}
 	if err := man.write(e.dir); err != nil {
 		// Do NOT remove the snapshot here: write can fail after the rename
 		// actually installed the new MANIFEST (e.g. the directory fsync
@@ -878,12 +902,25 @@ func (e *Engine) Checkpoint() error {
 	e.deadRecords, e.deadBytes, e.deadActiveBytes = 0, 0, 0
 	e.mu.Unlock()
 
-	// The commit is durable; pruning is best-effort (Open re-prunes).
-	for idx := oldStart; idx < cut; idx++ {
+	// The commit is durable; pruning is best-effort (Open re-prunes). An
+	// attached follower's pin caps the sweep: segments it still needs stay
+	// on disk — below FirstSegment now, invisible to recovery but exactly
+	// where the follower's cursor says they are — and pruneFloor remembers
+	// to reclaim them once the pin has moved past.
+	pruneTo := cut
+	if minPin < pruneTo {
+		pruneTo = minPin
+	}
+	low := oldStart
+	if e.pruneFloor < low {
+		low = e.pruneFloor
+	}
+	for idx := low; idx < pruneTo; idx++ {
 		if err := os.Remove(e.segPath(idx)); err != nil && !os.IsNotExist(err) {
 			e.opts.Logf("wal: pruning %s: %v", segmentName(idx), err)
 		}
 	}
+	e.pruneFloor = pruneTo
 	if oldSnap != "" && oldSnap != snap {
 		if err := os.Remove(filepath.Join(e.dir, oldSnap)); err != nil && !os.IsNotExist(err) {
 			e.opts.Logf("wal: pruning %s: %v", oldSnap, err)
@@ -1020,6 +1057,7 @@ func (e *Engine) Close() error {
 		if err == nil {
 			e.syncCount++
 			e.durableSize = e.activeSize
+			e.advancePinsLocked(e.unsyncedRecords, e.unsyncedBytes)
 			e.unsyncedRecords, e.unsyncedBytes = 0, 0
 			if b := e.curBatch; b != nil {
 				e.curBatch = nil

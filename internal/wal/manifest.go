@@ -41,6 +41,14 @@ type manifest struct {
 	// FirstSegment is the oldest segment recovery replays; earlier
 	// segments are superseded by the snapshot.
 	FirstSegment uint64 `json:"firstSegment"`
+	// Compactions is the log's compaction epoch: bumped (and committed,
+	// before any segment is touched) whenever Compact rewrites sealed
+	// segments. A replication cursor minted under an older epoch may point
+	// into bytes that no longer exist, so attaching one is refused and the
+	// follower re-seeds (repl.go). Pre-replication manifests decode as
+	// epoch 0, which is correct: their segments were never rewritten under
+	// a shipped cursor.
+	Compactions uint64 `json:"compactions,omitempty"`
 }
 
 // loadManifest reads dir's manifest, or returns the pristine state (no

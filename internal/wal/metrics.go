@@ -14,6 +14,8 @@ type engineMetrics struct {
 	batch       *metrics.Histogram // records acknowledged per group-commit fsync
 	checkpoint  *metrics.Histogram // successful checkpoint wall time
 	compact     *metrics.Histogram // successful compaction wall time
+	shipRecords *metrics.Counter   // records shipped to followers
+	shipBytes   *metrics.Counter   // framed bytes shipped to followers
 }
 
 // registerMetrics binds the engine's instrumentation to reg. Counters and
@@ -37,6 +39,10 @@ func (e *Engine) registerMetrics(reg *metrics.Registry) {
 			"Wall time of successful checkpoints.", metrics.LatencyBuckets),
 		compact: reg.Histogram("wal_compact_duration_seconds",
 			"Wall time of successful sealed-segment compactions.", metrics.LatencyBuckets),
+		shipRecords: reg.Counter("repl_ship_records_total",
+			"Records shipped to attached followers."),
+		shipBytes: reg.Counter("repl_ship_bytes_total",
+			"Framed bytes shipped to attached followers."),
 	}
 	reg.GaugeFunc("wal_lag_records", "Records appended since the last checkpoint.",
 		func() float64 { return float64(e.Stats().Records) })

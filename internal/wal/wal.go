@@ -78,6 +78,12 @@ type Options struct {
 	// it rewrites only the sealed segments that shrank, not a full
 	// snapshot.
 	CompactBytes int64
+	// ReplPinBudgetBytes bounds how many bytes of unshipped backlog an
+	// attached follower's pin may hold against compaction and checkpoint
+	// pruning (default 512 MiB; negative disables eviction). Past the
+	// budget the pin is evicted and the follower re-seeds from the newest
+	// snapshot — reclamation never wedges behind a dead replica.
+	ReplPinBudgetBytes int64
 	// Metrics, when non-nil, receives the engine's instrumentation: append
 	// and fsync counters/histograms, group-commit batch sizes, and
 	// scrape-time gauges over Stats(). Reopening an engine on the same
@@ -103,6 +109,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CompactBytes == 0 {
 		o.CompactBytes = 8 << 20
+	}
+	if o.ReplPinBudgetBytes == 0 {
+		o.ReplPinBudgetBytes = 512 << 20
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
